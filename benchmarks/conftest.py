@@ -1,0 +1,19 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper artifact (scaled down so the full
+suite completes in minutes) and prints the same rows/series the paper
+reports. Simulations are deterministic, so a single round measures the
+cost faithfully; `once()` wraps ``benchmark.pedantic`` accordingly.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

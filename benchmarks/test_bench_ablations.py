@@ -1,0 +1,28 @@
+"""Bench: ablations of Spider's design choices (DESIGN.md §5)."""
+
+from repro.experiments import ablations as exp
+
+
+def test_bench_ablations(once):
+    result = once(exp.run, duration=300.0)
+    exp.print_report(result)
+
+    # Lease caching helps (or at worst is neutral) on a repeated route.
+    cache = {row["lease_cache"]: row for row in result["lease_cache"]}
+    assert cache[True]["throughput_kBps"] >= cache[False]["throughput_kBps"] * 0.8
+
+    # Fake PSM is load-bearing for multi-channel schedules: without it
+    # off-channel downlink is simply lost.
+    psm = {row["psm"]: row for row in result["psm"]}
+    assert psm[True]["throughput_kBps"] >= psm[False]["throughput_kBps"]
+
+    # Channel-based slicing beats AP-based slicing in a mobile world.
+    slicing = {row["architecture"]: row for row in result["slicing"]}
+    spider = slicing["channel-based (Spider)"]
+    fatvap = slicing["AP-based (FatVAP-style)"]
+    assert spider["throughput_kBps"] >= fatvap["throughput_kBps"]
+
+    # All selection policies work; the table itself is the artifact.
+    assert len(result["selection_policy"]) == 3
+    for row in result["selection_policy"]:
+        assert row["throughput_kBps"] >= 0.0

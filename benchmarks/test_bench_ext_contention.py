@@ -1,0 +1,27 @@
+"""Bench (extension): contention as more clients adopt concurrent Wi-Fi.
+
+Sec. 4.8 flags "potential problems raised by interference as more
+users adopt concurrent Wi-Fi schemes" as future work: this bench sweeps
+the client population over a fixed pair of APs.
+"""
+
+from repro.experiments import contention as exp
+
+
+def test_bench_ext_contention(once):
+    result = once(exp.run, populations=(1, 2, 4, 8), duration=40.0)
+    exp.print_report(result)
+    rows = {row["clients"]: row for row in result["rows"]}
+    bottleneck = result["bottleneck_kBps"]
+
+    # A single client already extracts most of the aggregate backhaul.
+    assert rows[1]["aggregate_kBps"] > bottleneck * 0.7
+
+    # Aggregate stays bounded by the bottleneck as clients multiply:
+    # concurrency does not mint bandwidth.
+    for row in result["rows"]:
+        assert row["aggregate_kBps"] <= bottleneck * 1.05
+
+    # Per-client share decays roughly like 1/N.
+    assert rows[4]["per_client_kBps"] < rows[1]["per_client_kBps"] / 2.5
+    assert rows[8]["per_client_kBps"] < rows[2]["per_client_kBps"] / 2.5

@@ -1,0 +1,70 @@
+"""Bench (extension): energy cost of Spider's configurations.
+
+Sec. 4.8 names energy consumption on constrained devices as future
+work. This bench meters the radio across the Table 2 configurations on
+the same vehicular world and reports joules per delivered megabyte.
+"""
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import ScenarioConfig, VehicularScenario
+from repro.metrics.energy import EnergyMeter
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+CONFIGS = (
+    ("ch1 multi-AP", lambda: SpiderConfig.single_channel_multi_ap(1, **REDUCED)),
+    ("ch1 single-AP", lambda: SpiderConfig.single_channel_single_ap(1, **REDUCED)),
+    ("3ch multi-AP", lambda: SpiderConfig.multi_channel_multi_ap(period=0.6, **REDUCED)),
+)
+
+
+def _metered(config, seed=3, duration=420.0):
+    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    spider = scenario.make_spider(config)
+    spider.start()
+    meter = EnergyMeter(spider.radio)
+    scenario.sim.run(until=duration)
+    report = meter.report()
+    delivered = spider.recorder.total_bytes
+    spider.stop()
+    return report, delivered
+
+
+def test_bench_ext_energy(once):
+    def experiment():
+        rows = []
+        for name, make in CONFIGS:
+            report, delivered = _metered(make())
+            rows.append(
+                {
+                    "config": name,
+                    "avg_power_w": report.average_power_w,
+                    "delivered_MB": delivered / 1e6,
+                    "j_per_mb": report.joules_per_megabyte(delivered),
+                    "reset_j": report.reset_j,
+                }
+            )
+        return rows
+
+    rows = once(experiment)
+    print("Extension — energy per configuration")
+    print("  config          power(W)  delivered(MB)  J/MB    reset(J)")
+    for row in rows:
+        print(
+            f"  {row['config']:14s} {row['avg_power_w']:8.3f}"
+            f"  {row['delivered_MB']:12.1f}  {row['j_per_mb']:6.1f}  {row['reset_j']:7.2f}"
+        )
+    by_config = {row["config"]: row for row in rows}
+
+    # Average power sits in the sub-watt Wi-Fi regime for every config.
+    for row in rows:
+        assert 0.5 < row["avg_power_w"] < 1.4
+
+    # The throughput-maximising config is the most energy-efficient per
+    # byte; the multi-channel config pays reset energy on top of its
+    # throughput loss.
+    assert (
+        by_config["ch1 multi-AP"]["j_per_mb"]
+        < by_config["3ch multi-AP"]["j_per_mb"]
+    )
+    assert by_config["3ch multi-AP"]["reset_j"] > by_config["ch1 multi-AP"]["reset_j"]

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 10 (connection/disruption/bandwidth CDFs)."""
+
+from repro.experiments import fig10_cdfs as exp
+
+
+def test_bench_fig10(once):
+    result = once(exp.run, duration=600.0)
+    exp.print_report(result)
+    by_config = {s["config"]: s for s in result["series"]}
+
+    ch1_multi = by_config["ch1-multi-ap"]
+    mch_multi = by_config["3ch-multi-ap"]
+
+    # Single-channel multi-AP: the longest connections and the best
+    # instantaneous bandwidth (Fig. 10a / 10c).
+    assert ch1_multi["median_connection"] >= mch_multi["median_connection"]
+    assert ch1_multi["bw_p60"] > mch_multi["bw_p60"]
+    assert ch1_multi["bw_p90"] > mch_multi["bw_p90"]
+
+    # Instantaneous bandwidth scale: paper reports p60 ≈ 300 KB/s and
+    # p90 ≈ 1000 KB/s for the single-channel multi-AP configuration.
+    assert 100 < ch1_multi["bw_p60"] < 1500
+    assert ch1_multi["bw_p90"] <= 1500

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 11 (join-time CDF vs DHCP timeout)."""
+
+from repro.experiments import fig11_join_timeout as exp
+
+
+def test_bench_fig11(once):
+    result = once(exp.run, seeds=(1, 2), duration=180.0)
+    exp.print_report(result)
+    by_label = {s["label"]: s for s in result["series"]}
+
+    # Reduced timers improve the median time to a lease vs default.
+    assert by_label["200ms, channel 1"]["median"] <= by_label["default, channel 1"]["median"]
+
+    # Multi-channel joins are slower than dedicated-channel joins at
+    # the same timer (paper: the median roughly doubles).
+    if by_label["200ms, 3 channels"]["join_times"]:
+        assert (
+            by_label["200ms, 3 channels"]["median"]
+            >= by_label["200ms, channel 1"]["median"]
+        )

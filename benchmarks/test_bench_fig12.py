@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 12 (join delay per scheduling policy)."""
+
+from repro.experiments import fig12_join_policies as exp
+
+
+def test_bench_fig12(once):
+    result = once(exp.run, seeds=(1, 2), duration=180.0)
+    exp.print_report(result)
+    by_label = {s["label"]: s for s in result["series"]}
+
+    reduced_single = by_label["7 ifaces, ch1, dhcp=200ms ll=100ms"]
+    default_single = by_label["7 ifaces, ch1, default TO"]
+    three_chan = by_label["7 ifaces, 3 chans, default TO"]
+
+    # The single-channel reduced-timeout policy joins fastest.
+    assert reduced_single["median"] <= default_single["median"]
+    # Splitting the schedule over three channels slows joins down.
+    if three_chan["join_times"]:
+        assert three_chan["median"] >= default_single["median"] * 0.8
+    # Every policy produced joins on the dedicated-channel cases.
+    assert reduced_single["join_times"] and default_single["join_times"]

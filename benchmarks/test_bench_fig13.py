@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 13 (connection lengths: users vs Spider)."""
+
+from repro.experiments import fig13_usability as exp
+
+
+def test_bench_fig13(once):
+    result = once(exp.run, duration=600.0)
+    exp.print_report(result)
+
+    # The synthetic mesh trace matches the paper's aggregates.
+    summary = result["trace_summary"]
+    assert abs(summary["flows"] - 128_587) / 128_587 < 0.05
+    assert abs(summary["http_fraction"] - 0.68) < 0.03
+
+    # The paper's reading: Spider's connections cover essentially all
+    # the TCP flows users actually create.
+    assert result["coverage"]["ch1-multi-ap"] > 0.8

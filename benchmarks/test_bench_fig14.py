@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 14 (disruption lengths: users vs Spider)."""
+
+from repro.experiments import fig14_usability as exp
+from repro.metrics.stats import median
+
+
+def test_bench_fig14(once):
+    result = once(exp.run, duration=600.0)
+    exp.print_report(result)
+    by_label = {s["label"]: s for s in result["series"]}
+
+    users = by_label["user inter-connection"]
+    spider_multi = by_label["multiple APs (3ch-multi-ap)"]
+
+    # Users' natural inter-connection gaps are tens of seconds.
+    assert 10.0 < users["median"] < 120.0
+    # The multi-channel multi-AP mode's disruptions are comparable to
+    # (the same order as) what users already tolerate — the paper's
+    # conclusion that Spider can complement cellular service.
+    if spider_multi["values"]:
+        assert spider_multi["median"] < users["median"] * 5

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 2 (join model vs Monte-Carlo simulation)."""
+
+from repro.experiments import fig2_join_model as exp
+
+
+def test_bench_fig2(once):
+    result = once(
+        exp.run,
+        fractions=[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0],
+        runs=40,
+        trials_per_run=100,
+    )
+    exp.print_report(result)
+    # Corroboration: the closed form and the simulation agree.
+    assert exp.max_model_sim_gap(result) < 0.06
+    for series in result["series"]:
+        # P(join) ~0.2 at f=0.1 and near-certain at f=1 (paper text).
+        assert series["model"][0] < 0.45
+        assert series["model"][-1] > 0.95

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 3 (P(join) vs beta_max)."""
+
+from repro.experiments import fig3_beta_sensitivity as exp
+
+
+def test_bench_fig3(once):
+    result = once(exp.run)
+    exp.print_report(result)
+    for series in result["series"]:
+        values = series["values"]
+        # Shorter maximum join times → higher join success.
+        assert values[0] >= values[-1]
+    # Removing the switching delay barely moves the curves (paper:
+    # "chances of joining are not notably increased").
+    assert exp.switch_delay_effect(result) < 0.15
+    # Higher fractions dominate lower ones pointwise.
+    by_label = {s["label"]: s["values"] for s in result["series"]}
+    for low, high in zip(by_label["fi=.10"], by_label["fi=.50"]):
+        assert high >= low - 1e-9

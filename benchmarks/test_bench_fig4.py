@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 4 (optimal schedules and the dividing speed)."""
+
+from repro.experiments import fig4_dividing_speed as exp
+
+
+def test_bench_fig4(once):
+    result = once(exp.run, grid_step=0.02)
+    exp.print_report(result)
+    for scenario in result["scenarios"]:
+        # A dividing speed exists and is <= 10 m/s (paper: "less than
+        # 10 m/s for most scenarios"; above it, stay on one channel).
+        assert scenario["dividing_speed"] is not None
+        assert scenario["dividing_speed"] <= 10.0
+        # The join channel's share decays with speed to exactly zero.
+        ch2 = scenario["ch2_bps"]
+        assert all(b <= a + 1e-6 for a, b in zip(ch2, ch2[1:]))
+        assert ch2[0] > 0 and ch2[-1] == 0.0
+        # The already-joined channel keeps its offered share throughout.
+        joined_cap = scenario["split"][0] * 11e6
+        for value in scenario["ch1_bps"]:
+            assert value <= joined_cap + 1e-6
+            assert value >= joined_cap * 0.9

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 7 (TCP throughput vs % on primary channel)."""
+
+from repro.experiments import fig7_tcp_fraction as exp
+
+
+def test_bench_fig7(once):
+    result = once(exp.run, duration=45.0)
+    exp.print_report(result)
+    values = result["throughput_kbps"]
+    # Monotone rise with the primary-channel share (paper: throughput
+    # proportional to the percentage of time on the primary channel).
+    assert exp.is_roughly_monotonic(result)
+    assert values[-1] > values[0] * 3
+    # Dedicated channel approaches the 4 Mbps backhaul.
+    assert values[-1] > 3000

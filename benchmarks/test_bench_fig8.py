@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 8 (TCP throughput vs absolute dwell)."""
+
+from repro.experiments import fig8_tcp_dwell as exp
+
+
+def test_bench_fig8(once):
+    result = once(exp.run, duration=45.0)
+    exp.print_report(result)
+    # The paper's point: unlike Fig. 7, sweeping the *absolute* dwell
+    # is non-monotonic — long absences cross the RTO and overflow AP
+    # buffers ("throughput is very sensitive to the amount of time
+    # spent by the driver on each channel").
+    assert exp.is_non_monotonic(result)
+    values = dict(zip(result["dwells"], result["throughput_kbps"]))
+    # Short dwells (absence ≪ RTO) beat 200–300 ms dwells (absence
+    # 400–600 ms, past the RTO floor).
+    assert values[0.05] > values[0.2]

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 9 (throughput vs backhaul, five configs)."""
+
+from repro.experiments import fig9_micro as exp
+
+
+def test_bench_fig9(once):
+    result = once(exp.run, backhauls=(0.5e6, 2e6, 5e6), duration=60.0)
+    exp.print_report(result)
+    by_config = {s["config"]: s["throughput_kBps"] for s in result["series"]}
+
+    one = by_config["one-card-stock"]
+    two = by_config["two-cards-stock"]
+    spider_single = by_config["spider-100-0-0"]
+    spider_fast = by_config["spider-50-0-50"]
+
+    for i in range(len(one)):
+        # Two physical cards ≈ 2× one card; Spider on one channel with
+        # two APs matches the two-card node (the paper's headline
+        # micro-benchmark result).
+        assert two[i] > one[i] * 1.4
+        assert spider_single[i] > one[i] * 1.5
+        assert abs(spider_single[i] - two[i]) / two[i] < 0.4
+        # Multi-channel schedules pay for switching: below the
+        # single-channel configuration.
+        assert spider_fast[i] <= spider_single[i] * 1.05
+
+    # Throughput grows with offered backhaul for the aggregating configs.
+    assert spider_single[-1] > spider_single[0] * 2

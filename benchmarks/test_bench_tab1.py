@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (switch latency vs connected interfaces)."""
+
+from repro.experiments import tab1_switch_latency as exp
+
+
+def test_bench_tab1(once):
+    result = once(exp.run, max_interfaces=4, duration=25.0)
+    exp.print_report(result)
+    rows = result["rows"]
+    # Zero interfaces: the latency is essentially the hardware reset
+    # (paper: 4.94 ms).
+    assert 4.0 < rows[0]["mean_ms"] < 6.5
+    # Latency grows with the number of connected interfaces because a
+    # separate PSM frame must be sent to each AP.
+    means = [row["mean_ms"] for row in rows]
+    assert all(b >= a - 0.2 for a, b in zip(means, means[1:]))
+    assert means[4] > means[0]
+    # And stays in the same few-millisecond regime as the paper.
+    assert means[4] < 12.0

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 2 (throughput & connectivity per config)."""
+
+from repro.experiments import tab2_throughput_connectivity as exp
+
+
+def test_bench_tab2(once):
+    result = once(exp.run, duration=600.0)
+    exp.print_report(result)
+    rows = {r["config"]: r for r in result["rows"]}
+
+    ch1_multi = rows["ch1-multi-ap"]
+    ch1_single = rows["ch1-single-ap"]
+    mch_multi = rows["3ch-multi-ap"]
+    stock = rows["stock-madwifi"]
+
+    # Headline: single-channel multi-AP wins throughput, by a clear
+    # factor over its single-AP counterpart and over stock Wi-Fi.
+    best_throughput = max(r["throughput_kBps"] for r in rows.values())
+    assert ch1_multi["throughput_kBps"] == best_throughput
+    assert ch1_multi["throughput_kBps"] > ch1_single["throughput_kBps"] * 1.3
+    assert ch1_multi["throughput_kBps"] > stock["throughput_kBps"] * 1.3
+
+    # Multi-channel multi-AP trades throughput for the best connectivity.
+    assert mch_multi["throughput_kBps"] < ch1_multi["throughput_kBps"] * 0.5
+    assert mch_multi["connectivity_pct"] >= ch1_single["connectivity_pct"]
+
+    # Stock Wi-Fi has the worst connectivity of the compared drivers.
+    assert stock["connectivity_pct"] <= min(
+        ch1_multi["connectivity_pct"], mch_multi["connectivity_pct"]
+    )

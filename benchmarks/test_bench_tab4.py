@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 4 (throughput/connectivity vs #channels)."""
+
+from repro.experiments import tab4_channels as exp
+
+
+def test_bench_tab4(once):
+    result = once(exp.run, duration=600.0)
+    exp.print_report(result)
+    rows = result["rows"]
+    one, two, three = rows
+
+    # Throughput is maximised on a single channel...
+    assert one["throughput_kBps"] == max(r["throughput_kBps"] for r in rows)
+    assert one["throughput_kBps"] > two["throughput_kBps"] * 1.5
+    # ...and connectivity with the full three-channel schedule (the
+    # larger AP pool), paper Table 4.
+    assert three["connectivity_pct"] >= two["connectivity_pct"] * 0.9
+    assert three["connectivity_pct"] >= one["connectivity_pct"] * 0.6

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""How much does Spider's join-history heuristic give up vs optimal?
+
+The paper proves utility-maximal multi-AP selection NP-hard and opts
+for a heuristic (Sec. 3). This example draws random downtown AP
+environments and compares three solvers on the underlying optimisation
+problem: exhaustive search (optimal, exponential), bandwidth-greedy
+selection (FatVAP-ish), and Spider's join-history single-channel
+heuristic — across short (vehicular) and long (strolling) encounters.
+
+Run:  python examples/ap_selection_study.py [environments]
+"""
+
+import random
+import sys
+
+from repro.core.selection_problem import CandidateAp, optimality_gap
+from repro.metrics.stats import mean
+
+
+def random_environment(rng: random.Random, aps: int = 7):
+    """A random cluster of candidate APs as a vehicle would see it."""
+    candidates = []
+    for index in range(aps):
+        join_time = rng.uniform(0.8, 5.0)
+        candidates.append(
+            CandidateAp(
+                name=f"ap{index}",
+                channel=rng.choice([1, 6, 11]),
+                bandwidth_bps=rng.uniform(1e6, 10e6),
+                expected_join_time=join_time,
+                # Spider's history approximates 1/(1+join time): it has
+                # seen who answers quickly, not who has fat backhaul.
+                join_history_score=1.0 / (1.0 + join_time) + rng.gauss(0, 0.05),
+            )
+        )
+    return candidates
+
+
+def study(encounter: float, environments: int, seed: int = 1):
+    rng = random.Random(seed)
+    greedy, history = [], []
+    for _ in range(environments):
+        gaps = optimality_gap(random_environment(rng), in_range_time=encounter)
+        greedy.append(gaps["greedy_bandwidth"])
+        history.append(gaps["join_history"])
+    return mean(greedy), mean(history)
+
+
+def main() -> None:
+    environments = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    print(f"Average fraction of the optimal utility over {environments} random")
+    print("downtown AP environments (exhaustive search = 1.00):\n")
+    print("  encounter      greedy-by-bandwidth   Spider (join history)")
+    for encounter, label in [(6.0, "6 s (vehicular)"), (15.0, "15 s (slow street)"),
+                             (60.0, "60 s (strolling)")]:
+        greedy, history = study(encounter, environments)
+        print(f"  {label:17s} {greedy:12.2f} {history:21.2f}")
+    print(
+        "\nReading: at vehicular encounters the join-time-aware heuristic"
+        "\nholds up despite ignoring bandwidth entirely — join cost, not"
+        "\noffered bandwidth, decides what a moving client can extract."
+    )
+
+
+if __name__ == "__main__":
+    main()

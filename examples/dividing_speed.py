@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Find the dividing speed for your own AP environment.
+
+The paper's analytical result: there is a speed above which a mobile
+client should stop switching channels and dedicate the card to one
+channel. This example sweeps node speed for a user-described two-channel
+environment and prints the optimal schedule at each speed plus the
+dividing speed.
+
+Run:  python examples/dividing_speed.py [joined_fraction] [available_fraction]
+e.g.  python examples/dividing_speed.py 0.5 0.5
+"""
+
+import sys
+
+from repro.model.join_model import JoinModelParams
+from repro.model.throughput_opt import (
+    ChannelScenario,
+    dividing_speed,
+    sweep_speeds,
+)
+
+
+def main() -> None:
+    joined = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    available = float(sys.argv[2]) if len(sys.argv) > 2 else 0.75
+    params = JoinModelParams(beta_max=10.0)
+    speeds = [1.0, 2.5, 5.0, 7.5, 10.0, 15.0, 20.0]
+
+    one = ChannelScenario(joined_fraction=joined)
+    two = ChannelScenario(available_fraction=available)
+    print(f"Channel 1: already joined, offering {joined:.0%} of Bw")
+    print(f"Channel 2: must join first, offering {available:.0%} of Bw")
+    print(f"AP responsiveness: beta in [{params.beta_min}, {params.beta_max}] s\n")
+    print(" speed   ch1 schedule  ch2 schedule  ch1 kbps  ch2 kbps")
+    for schedule in sweep_speeds(one, two, speeds, params=params, grid_step=0.02):
+        f1, f2 = schedule.fractions
+        print(
+            f"  {schedule.speed:4.1f}       {f1:6.0%}       {f2:6.0%}"
+            f"   {schedule.per_channel_bps[0] / 1e3:7.0f}  {schedule.per_channel_bps[1] / 1e3:8.0f}"
+        )
+
+    divide = dividing_speed(one, two, speeds, params=params, grid_step=0.02)
+    if divide is None:
+        print("\nNo dividing speed in this sweep: channel 2 stays worthwhile.")
+    else:
+        print(f"\nDividing speed: {divide:.1f} m/s — above this, stay on one channel.")
+
+
+if __name__ == "__main__":
+    main()

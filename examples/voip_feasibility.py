@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Can you hold a VoIP call over open Wi-Fi from a moving car?
+
+The paper's disruption analysis (Sec. 4.3/4.7) asks whether interactive
+applications like VoIP can be supported. This example attaches a
+G.711-style CBR stream to every AP Spider joins during a downtown drive
+and reports per-connection call quality (loss, delay, E-model MOS) for
+a single-channel and a multi-channel configuration.
+
+Run:  python examples/voip_feasibility.py
+"""
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import ScenarioConfig, VehicularScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def drive_with_calls(name, config, duration=420.0):
+    scenario = VehicularScenario(ScenarioConfig(seed=13))
+    # A call study, not a bulk-transfer study: don't run a saturating
+    # download next to the stream (bufferbloat would drown the call).
+    config.auto_flow = False
+    spider = scenario.make_spider(config)
+    streams = []
+
+    original = spider.on_interface_connected
+
+    def start_call(interface):
+        original(interface)
+        stream = interface.attach_voip()
+        if stream is not None:
+            streams.append((interface.ap_name, stream))
+
+    spider.on_interface_connected = start_call
+    spider.start()
+    scenario.sim.run(until=duration)
+    spider.stop()
+
+    print(f"\n{name}: {len(streams)} call segments")
+    usable = judged = 0
+    for ap_name, stream in streams:
+        # Quality until the call dropped (the silent tail after the car
+        # leaves coverage is a drop, not in-call loss).
+        quality = stream.quality(trim_tail=True)
+        if quality.sent < 100:
+            continue  # under two seconds of call: too short to judge
+        judged += 1
+        verdict = "usable" if quality.usable else "unusable"
+        usable += quality.usable
+        print(
+            f"  via {ap_name:6s}: {quality.sent * 0.02:5.1f}s,"
+            f" loss {quality.loss_fraction:5.1%},"
+            f" delay {quality.mean_delay * 1000:4.0f} ms,"
+            f" MOS {quality.mos:.2f} ({verdict})"
+        )
+    if judged:
+        print(f"  => {usable}/{judged} call segments usable")
+    return streams
+
+
+def main() -> None:
+    drive_with_calls(
+        "Single channel, multi-AP (throughput config)",
+        SpiderConfig.single_channel_multi_ap(1, **REDUCED),
+    )
+    drive_with_calls(
+        "Three channels, multi-AP (connectivity config)",
+        SpiderConfig.multi_channel_multi_ap(period=0.6, **REDUCED),
+    )
+    print(
+        "\nTake-away: per-connection call quality is good on a dedicated"
+        "\nchannel, but the gaps BETWEEN connections (disruptions) are what"
+        "\nlimit real calls — the trade-off the paper's Figs. 10/14 measure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""spider-repro: reproduction of "Concurrent Wi-Fi for Mobile Users".
+
+A from-scratch implementation of the Spider system (Soroush et al.,
+ACM CoNEXT 2011) and every substrate its evaluation depends on, built
+on a deterministic discrete-event simulator.
+
+Public entry points:
+
+- :mod:`repro.model` — the paper's analytical framework (join model,
+  throughput optimiser, dividing speed);
+- :class:`repro.core.SpiderConfig` / :class:`repro.core.SpiderDriver` —
+  the system itself;
+- :mod:`repro.experiments` — one runner per paper table/figure
+  (``spider-repro run all`` from the command line);
+- :class:`repro.experiments.common.LabScenario` /
+  :class:`repro.experiments.common.VehicularScenario` — ready-made
+  worlds to run drivers in.
+
+See README.md for a guided tour and DESIGN.md for the paper-to-code
+mapping.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

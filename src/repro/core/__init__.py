@@ -1,0 +1,35 @@
+"""Spider: the paper's contribution.
+
+Spider schedules a single physical Wi-Fi card among *channels* rather
+than APs, keeps one uplink packet queue per channel, associates with
+every usable AP on the current channel concurrently, selects APs by
+join history, caches DHCP leases, and uses opportunistic scanning —
+all driven by the analysis of Sec. 2 showing that at vehicular speeds
+join success requires staying put on a channel.
+
+Also provides a FatVAP-style AP-slicing scheduler
+(:class:`~repro.core.fatvap.FatVapDriver`) as the architectural
+contrast: it time-slices across individual APs, which is optimal for
+stationary clients but pays PSM round-trips even between APs that
+share a channel.
+"""
+
+from repro.core.config import SpiderConfig
+from repro.core.dynamic import DynamicChannelSpider, DynamicConfig
+from repro.core.fatvap import FatVapConfig, FatVapDriver
+from repro.core.join_history import ApStats, JoinHistory
+from repro.core.scheduler import ChannelScheduler, SwitchRecord
+from repro.core.spider import SpiderDriver
+
+__all__ = [
+    "ApStats",
+    "ChannelScheduler",
+    "DynamicChannelSpider",
+    "DynamicConfig",
+    "FatVapConfig",
+    "FatVapDriver",
+    "JoinHistory",
+    "SpiderConfig",
+    "SpiderDriver",
+    "SwitchRecord",
+]

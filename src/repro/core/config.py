@@ -1,0 +1,91 @@
+"""Spider configuration.
+
+The four evaluation configurations of Sec. 4.1 map directly:
+
+1. single-channel single-AP:   schedule={ch: 1.0}, multi_ap=False
+2. single-channel multi-AP:    schedule={ch: 1.0}, multi_ap=True
+3. multi-channel multi-AP:     schedule={1: 1/3, 6: 1/3, 11: 1/3}
+4. multi-channel single-AP:    same schedule, multi_ap=False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.drivers.base import DriverConfig
+
+
+@dataclass
+class SpiderConfig(DriverConfig):
+    """Spider's policy knobs on top of the shared driver config."""
+
+    #: channel → fraction of the scheduling period spent there.
+    schedule: Dict[int, float] = field(default_factory=lambda: {1: 1.0})
+    #: D: the scheduling period in seconds (paper uses 400–600 ms).
+    period: float = 0.6
+    #: Join every usable AP on the channel (True) or only the best one.
+    multi_ap: bool = True
+    #: AP selection policy: "history" (Spider's heuristic), "rssi", "random".
+    selection_policy: str = "history"
+    #: Hardware-reset latency of a channel switch (Table 1: ~4.94 ms).
+    hw_reset_mean: float = 4.94e-3
+    hw_reset_jitter: float = 0.2e-3
+    #: Announce PSM to associated APs around switches (ablation knob:
+    #: without fake power-save, off-channel downlink is simply lost).
+    use_psm: bool = True
+    #: Send a probe request at each dwell start / periodically.
+    probe_on_dwell: bool = True
+    probe_interval: float = 0.5
+    #: Do not retry an AP that just failed for this long.
+    failure_backoff: float = 10.0
+    #: Spider's DHCP client restarts a failed attempt window at once
+    #: (the stock 60 s idle backoff is useless on the move), so the
+    #: driver keeps the interface instead of tearing it down.
+    dhcp_restart_immediately: bool = True
+    teardown_on_dhcp_failure: bool = False
+
+    def __post_init__(self) -> None:
+        total = sum(self.schedule.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"schedule fractions sum to {total} > 1")
+        if any(fraction <= 0 for fraction in self.schedule.values()):
+            raise ValueError("schedule fractions must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def single_channel(self) -> bool:
+        return len(self.schedule) == 1
+
+    @staticmethod
+    def single_channel_multi_ap(channel: int = 1, **kwargs) -> "SpiderConfig":
+        return SpiderConfig(schedule={channel: 1.0}, multi_ap=True, **kwargs)
+
+    @staticmethod
+    def single_channel_single_ap(channel: int = 1, **kwargs) -> "SpiderConfig":
+        return SpiderConfig(schedule={channel: 1.0}, multi_ap=False, **kwargs)
+
+    @staticmethod
+    def multi_channel_multi_ap(
+        channels=(1, 6, 11), period: float = 0.6, **kwargs
+    ) -> "SpiderConfig":
+        fraction = 1.0 / len(channels)
+        return SpiderConfig(
+            schedule={ch: fraction for ch in channels},
+            period=period,
+            multi_ap=True,
+            **kwargs,
+        )
+
+    @staticmethod
+    def multi_channel_single_ap(
+        channels=(1, 6, 11), period: float = 0.6, **kwargs
+    ) -> "SpiderConfig":
+        fraction = 1.0 / len(channels)
+        return SpiderConfig(
+            schedule={ch: fraction for ch in channels},
+            period=period,
+            multi_ap=False,
+            **kwargs,
+        )

@@ -1,0 +1,110 @@
+"""Dynamic channel selection (the paper's stated future work).
+
+Sec. 4.8: "Spider does not dynamically determine the best channel to
+dwell on. Exploring optimal channel selection schemes that use AP
+density and offered bandwidth on orthogonal channels at different
+locations requires future work."
+
+``DynamicChannelSpider`` implements the natural scheme: it alternates
+between short *survey* sweeps across the orthogonal channels (scoring
+each by APs heard and bytes delivered there) and long *dwell* phases
+dedicated to the best-scoring channel — so it converges on
+single-channel multi-AP behaviour wherever one channel dominates, while
+re-surveying often enough to follow the environment as the vehicle
+moves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.config import SpiderConfig
+from repro.core.spider import SpiderDriver
+
+
+@dataclass
+class DynamicConfig(SpiderConfig):
+    """Survey/dwell cadence for dynamic channel selection."""
+
+    candidate_channels: Tuple[int, ...] = (1, 6, 11)
+    survey_slot: float = 0.3  # per-channel time during a survey sweep
+    dwell_duration: float = 8.0  # committed time on the chosen channel
+    #: weight of delivered bytes vs AP count when scoring a channel
+    bytes_weight: float = 1e-5
+
+    def __post_init__(self) -> None:
+        # Start on the first candidate; the scheduler is driven by our
+        # own survey/dwell process rather than static fractions.
+        self.schedule = {self.candidate_channels[0]: 1.0}
+        super().__post_init__()
+
+
+class DynamicChannelSpider(SpiderDriver):
+    """Spider that picks its dwelling channel from what it observes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.config: DynamicConfig = self.config
+        self._bytes_by_channel: Dict[int, int] = {}
+        self.channel_decisions: list = []
+        # One uplink queue per candidate channel (the static parent only
+        # provisions the initial schedule's channels).
+        for channel in self.config.candidate_channels:
+            self._uplink_queues.setdefault(channel, deque())
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.sim.process(self._survey_dwell_loop())
+
+    # -- scoring ---------------------------------------------------------
+
+    def _score(self, channel: int) -> float:
+        """AP density plus recent goodput on the channel."""
+        heard = len(self.scanner.current(channel=channel))
+        recent_bytes = self._bytes_by_channel.get(channel, 0)
+        return heard + self.config.bytes_weight * recent_bytes
+
+    # -- survey/dwell ------------------------------------------------------
+
+    def _retune(self, channel: int):
+        if self.radio.channel == channel:
+            return
+        reset = self.config.hw_reset_mean
+        self.radio.set_channel(channel)
+        self.radio.go_deaf(reset)
+        yield self.sim.timeout(reset)
+        self.drain_uplink_queue(channel)
+
+    def _survey_dwell_loop(self):
+        config = self.config
+        while self._running:
+            # Survey: sample every candidate channel briefly.
+            self._bytes_by_channel.clear()
+            before = self.recorder.total_bytes
+            for channel in config.candidate_channels:
+                if not self._running:
+                    return
+                yield from self._retune(channel)
+                self.probe_current_channel()
+                start_bytes = self.recorder.total_bytes
+                yield self.sim.timeout(config.survey_slot)
+                self._bytes_by_channel[channel] = self.recorder.total_bytes - start_bytes
+            # Decide and dwell.
+            best = max(config.candidate_channels, key=self._score)
+            self.channel_decisions.append((self.sim.now, best))
+            # Serve existing and new APs on the chosen channel only.
+            self.config.schedule = {best: 1.0}
+            yield from self._retune(best)
+            self.on_dwell_start(best)
+            yield self.sim.timeout(config.dwell_duration)
+
+    # -- hooks --------------------------------------------------------------
+
+    def _join_candidates(self, channel: int) -> None:
+        # Dynamic mode joins on whatever channel the card currently
+        # dwells (the schedule map is rewritten per decision).
+        if channel not in self.config.schedule:
+            return
+        super()._join_candidates(channel)

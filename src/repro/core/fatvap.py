@@ -1,0 +1,171 @@
+"""FatVAP-style AP-slicing driver (architectural contrast / ablation).
+
+FatVAP (NSDI'08) time-slices the card across *APs*: each joined AP gets
+a share of the scheduling period, and the client PSM-sleeps at every
+other AP while serving one — even when two APs share a channel. That is
+optimal for stationary clients choosing among backhauls, but it is
+exactly what Spider departs from: channel-based scheduling talks to all
+same-channel APs simultaneously and pays zero switching between them.
+
+This implementation captures the scheduling architecture (per-AP slots,
+PSM juggling, per-AP uplink queues) with RSSI-based AP selection as a
+stand-in for FatVAP's bandwidth estimator; it exists to ablate
+channel-based vs AP-based slicing (DESIGN.md §5), not to reproduce
+FatVAP's estimator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.drivers.base import BaseDriver, DriverConfig, VirtualInterface
+from repro.mac import frames
+from repro.net.backhaul import ApRouter
+from repro.phy.radio import Medium
+from repro.sim.engine import Simulator
+from repro.world.mobility import MobilityModel
+
+
+@dataclass
+class FatVapConfig(DriverConfig):
+    """AP-slicing knobs."""
+
+    channels: Tuple[int, ...] = (1, 6, 11)
+    period: float = 0.6
+    hw_reset_mean: float = 4.94e-3
+    probe_interval: float = 0.5
+
+
+class FatVapDriver(BaseDriver):
+    """Time-slices the card across individual APs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobility: MobilityModel,
+        address: str = "fatvap",
+        config: Optional[FatVapConfig] = None,
+        router_lookup: Optional[Callable[[str], Optional[ApRouter]]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        config = config or FatVapConfig()
+        super().__init__(
+            sim,
+            medium,
+            mobility,
+            address,
+            config=config,
+            router_lookup=router_lookup,
+            initial_channel=config.channels[0],
+        )
+        self.config: FatVapConfig = config
+        self.medium = medium
+        self._rng = rng or random.Random(0xFA7)
+        self._uplink_queues: Dict[str, Deque[frames.Frame]] = {}
+        self._active_ap: Optional[str] = None
+        self._last_probe_at = -1e9
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.sim.process(self._loop())
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _loop(self):
+        config = self.config
+        while self._running:
+            interfaces = [i for i in self.interfaces.values() if i.associated]
+            if not interfaces:
+                # Discovery phase: sample the configured channels. The
+                # dwell is yielded unconditionally so the loop always
+                # makes simulated-time progress even while a join is
+                # mid-flight.
+                for channel in config.channels:
+                    if not self._running:
+                        return
+                    yield from self._retune(channel)
+                    self.probe_current_channel()
+                    yield self.sim.timeout(config.period / len(config.channels))
+                    if self.interfaces:
+                        break
+                self._join_all_heard()
+                continue
+            share = config.period / len(interfaces)
+            for interface in interfaces:
+                if not self._running:
+                    return
+                if interface.ap_name not in self.interfaces:
+                    continue  # torn down mid-cycle
+                yield from self._activate(interface)
+                yield self.sim.timeout(share)
+                self._deactivate(interface)
+            self._join_all_heard()
+
+    def _retune(self, channel: int):
+        if self.radio.channel == channel:
+            return
+        self.radio.set_channel(channel)
+        self.radio.go_deaf(self.config.hw_reset_mean)
+        yield self.sim.timeout(self.config.hw_reset_mean)
+
+    def _activate(self, interface: VirtualInterface):
+        """Move the card to the interface's AP and wake it."""
+        yield from self._retune(interface.channel)
+        self._active_ap = interface.ap_name
+        frame = frames.null_data(self.address, interface.ap_name, pm=False)
+        if self.radio.transmit(frame):
+            yield self.sim.timeout(self.medium.airtime(frame))
+        self._drain_queue(interface.ap_name)
+
+    def _deactivate(self, interface: VirtualInterface) -> None:
+        """PSM-sleep at the AP whose slot just ended."""
+        self._active_ap = None
+        if interface.ap_name in self.interfaces and interface.associated:
+            self.radio.transmit(frames.null_data(self.address, interface.ap_name, pm=True))
+
+    # -- joining ---------------------------------------------------------------------
+
+    def _join_all_heard(self) -> None:
+        if self.sim.now - self._last_probe_at >= self.config.probe_interval:
+            self._last_probe_at = self.sim.now
+            self.probe_current_channel()
+        candidates = [
+            obs
+            for obs in self.scanner.current()
+            if obs.channel in self.config.channels and obs.name not in self.interfaces
+        ]
+        candidates.sort(key=lambda obs: obs.rssi, reverse=True)
+        for observation in candidates:
+            if len(self.interfaces) >= self.config.max_interfaces:
+                break
+            self.join(observation)
+
+    # -- uplink policy ------------------------------------------------------------------
+
+    def send_data_payload(
+        self, interface: VirtualInterface, payload: object, size: int
+    ) -> bool:
+        frame = frames.data_frame(self.address, interface.ap_name, payload, size)
+        if (
+            self._active_ap == interface.ap_name
+            and self.radio.channel == interface.channel
+            and not self.radio.deaf
+        ):
+            return self.radio.transmit(frame)
+        queue = self._uplink_queues.setdefault(interface.ap_name, deque())
+        if len(queue) >= self.config.uplink_queue_frames:
+            queue.popleft()
+        queue.append(frame)
+        return False
+
+    def _drain_queue(self, ap_name: str) -> None:
+        queue = self._uplink_queues.get(ap_name)
+        if not queue:
+            return
+        while queue:
+            self.radio.transmit(queue.popleft())

@@ -1,0 +1,102 @@
+"""Join-history AP selection state.
+
+The paper (Sec. 3): selecting the utility-maximal AP set is NP-hard, so
+Spider uses a heuristic driven by the observation that *join time* is
+the critical factor at vehicular speeds — "instead of choosing APs with
+maximum end-to-end bandwidth, we select APs that have the best history
+of successful joins."
+
+``JoinHistory`` keeps per-AP attempt/success counts and an exponential
+moving average of join times; :meth:`score` rewards high success rates
+and short joins, and unknown APs get an optimistic prior so new
+territory is still explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class ApStats:
+    """Accumulated join outcomes for one AP."""
+
+    attempts: int = 0
+    successes: int = 0
+    ema_join_time: Optional[float] = None
+    last_failed_at: Optional[float] = None
+
+    EMA_WEIGHT = 0.3
+
+    @property
+    def success_rate(self) -> float:
+        if self.attempts == 0:
+            return 1.0  # optimistic prior
+        return self.successes / self.attempts
+
+    def record_success(self, join_time: float) -> None:
+        self.attempts += 1
+        self.successes += 1
+        if self.ema_join_time is None:
+            self.ema_join_time = join_time
+        else:
+            self.ema_join_time = (
+                self.EMA_WEIGHT * join_time + (1 - self.EMA_WEIGHT) * self.ema_join_time
+            )
+
+    def record_failure(self, now: float) -> None:
+        self.attempts += 1
+        self.last_failed_at = now
+
+
+class JoinHistory:
+    """Per-AP join statistics plus failure backoff."""
+
+    #: Prior join time (s) assumed for never-attempted APs.
+    OPTIMISTIC_JOIN_TIME = 1.5
+
+    def __init__(self, failure_backoff: float = 10.0):
+        self.failure_backoff = failure_backoff
+        self._stats: Dict[str, ApStats] = {}
+
+    def stats(self, ap: str) -> ApStats:
+        entry = self._stats.get(ap)
+        if entry is None:
+            entry = ApStats()
+            self._stats[ap] = entry
+        return entry
+
+    def record_success(self, ap: str, join_time: float) -> None:
+        self.stats(ap).record_success(join_time)
+
+    def record_failure(self, ap: str, now: float) -> None:
+        self.stats(ap).record_failure(now)
+
+    def blacklisted(self, ap: str, now: float) -> bool:
+        """True while the AP is in post-failure backoff."""
+        entry = self._stats.get(ap)
+        if entry is None or entry.last_failed_at is None:
+            return False
+        return now - entry.last_failed_at < self.failure_backoff
+
+    def score(self, ap: str, now: float) -> float:
+        """Higher is better: success rate per unit expected join time.
+
+        Blacklisted APs score -inf so they are never selected during
+        backoff.
+        """
+        if self.blacklisted(ap, now):
+            return float("-inf")
+        entry = self._stats.get(ap)
+        if entry is None:
+            return 1.0 / (1.0 + self.OPTIMISTIC_JOIN_TIME)
+        join_time = (
+            entry.ema_join_time
+            if entry.ema_join_time is not None
+            else self.OPTIMISTIC_JOIN_TIME
+        )
+        return entry.success_rate / (1.0 + join_time)
+
+    def known_aps(self) -> Dict[str, ApStats]:
+        return dict(self._stats)

@@ -1,0 +1,146 @@
+"""Channel scheduler: the mechanism behind Spider's switching.
+
+A switch away from a channel sends a PSM null (PM bit set) to every
+associated AP there, so APs buffer downlink traffic; the hardware reset
+then retunes the card (≈5 ms, Table 1); arriving on the new channel,
+the driver clears PSM (null with PM off — the "PSM poll" of Sec. 4.2)
+at each associated AP, which flushes their buffers, and drains the
+per-channel uplink queue. Every switch is logged as a
+:class:`SwitchRecord` so Table 1 can be regenerated.
+
+In the single-channel configurations no switching happens at all —
+Spider "incurs no switching overhead for interfaces on the same
+channel".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.mac import frames
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.spider import SpiderDriver
+
+
+@dataclass
+class SwitchRecord:
+    """One channel switch, for the Table 1 micro-benchmark."""
+
+    at: float
+    from_channel: int
+    to_channel: int
+    connected_interfaces: int
+    latency: float
+
+
+class ChannelScheduler:
+    """Round-robins the radio over the configured channel fractions."""
+
+    def __init__(self, driver: "SpiderDriver", rng: random.Random):
+        self.driver = driver
+        self._rng = rng
+        self.config = driver.config
+        self.switches: List[SwitchRecord] = []
+        self._running = False
+        self.current_channel: int = next(iter(self.config.schedule))
+
+    @property
+    def slots(self) -> List[Tuple[int, float]]:
+        return list(self.config.schedule.items())
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.driver.radio.set_channel(self.current_channel)
+        if not self.config.single_channel:
+            self.driver.sim.process(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- the scheduling loop ----------------------------------------------
+
+    def _loop(self):
+        sim = self.driver.sim
+        while self._running:
+            for channel, fraction in self.slots:
+                if not self._running:
+                    return
+                latency = yield from self._switch_to(channel)
+                dwell = max(0.0, fraction * self.config.period - latency)
+                self.driver.on_dwell_start(channel)
+                yield sim.timeout(dwell)
+
+    def _hw_reset_latency(self) -> float:
+        jitter = self._rng.gauss(0.0, self.config.hw_reset_jitter)
+        return max(1e-4, self.config.hw_reset_mean + jitter)
+
+    def _switch_to(self, channel: int):
+        """Perform one switch; returns its latency (generator helper)."""
+        driver = self.driver
+        sim = driver.sim
+        radio = driver.radio
+        old_channel = radio.channel
+        if old_channel == channel:
+            return 0.0
+        started = sim.now
+        connected = len(driver.connected_interfaces())
+
+        # 1. Tell every associated AP on the old channel we are sleeping.
+        #    CSMA: the nulls queue behind whatever is already on the air,
+        #    and the card must not retune until they (and the frames
+        #    ahead of them) have gone out, or in-flight downlink data
+        #    would be sprayed at a departed client.
+        if self.config.use_psm:
+            for interface in driver.associated_interfaces(old_channel):
+                radio.transmit(
+                    frames.null_data(driver.address, interface.ap_name, pm=True)
+                )
+            air_clear = driver.medium.channel_busy_until(old_channel) - sim.now
+            if air_clear > 0:
+                yield sim.timeout(air_clear)
+
+        # 2. Hardware reset: the card is deaf while it retunes.
+        reset = self._hw_reset_latency()
+        radio.set_channel(channel)
+        radio.go_deaf(reset)
+        yield sim.timeout(reset)
+        self.current_channel = channel
+
+        # 3. Wake every associated AP on the new channel (flushes PSM).
+        if self.config.use_psm:
+            poll_time = 0.0
+            for interface in driver.associated_interfaces(channel):
+                frame = frames.null_data(driver.address, interface.ap_name, pm=False)
+                if radio.transmit(frame):
+                    poll_time += driver.medium.airtime(frame)
+            if poll_time > 0:
+                yield sim.timeout(poll_time)
+
+        # 4. Drain data queued for this channel while we were away.
+        driver.drain_uplink_queue(channel)
+
+        latency = sim.now - started
+        self.switches.append(
+            SwitchRecord(
+                at=started,
+                from_channel=old_channel,
+                to_channel=channel,
+                connected_interfaces=connected,
+                latency=latency,
+            )
+        )
+        return latency
+
+    # -- micro-benchmark helper ---------------------------------------------
+
+    def switch_latency_by_interfaces(self) -> Dict[int, List[float]]:
+        """Latencies grouped by the number of connected interfaces."""
+        grouped: Dict[int, List[float]] = {}
+        for record in self.switches:
+            grouped.setdefault(record.connected_interfaces, []).append(record.latency)
+        return grouped

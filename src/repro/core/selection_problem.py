@@ -1,0 +1,181 @@
+"""The multi-AP selection problem (Sec. 3 / technical-report App. A).
+
+The paper: "selecting multiple APs while maximizing a given system
+utility function is NP-hard. Consequently, Spider uses a simple
+heuristic."
+
+This module states the underlying optimisation problem explicitly and
+provides three solvers to quantify what the heuristic gives up:
+
+- :func:`solve_exact` — exhaustive search over AP subsets (exponential;
+  fine for the ≤ 7-interface regime Spider operates in);
+- :func:`solve_greedy_bandwidth` — pick APs by offered end-to-end
+  bandwidth (what a static system like FatVAP approximates);
+- :func:`solve_join_history` — Spider's heuristic: rank by join-history
+  score, ignore bandwidth.
+
+**The problem.** Each candidate AP *i* has an offered end-to-end
+bandwidth ``b_i``, an expected join time ``g_i``, and sits on channel
+``c_i``; the client will be in range for ``T`` seconds and can hold at
+most ``k`` concurrent interfaces. Joining a set S forces the card to
+visit every channel used by S; a channel visited with schedule fraction
+``f`` delivers each of its APs only ``f`` of its bandwidth, and an AP
+only delivers after its join completes (``max(0, T − g_i/f)`` of useful
+time — joining goes slower off-channel, which is the paper's central
+observation). The utility of S under the best uniform per-channel
+schedule is what we maximise. The knapsack-like coupling between
+channel choice and join feasibility is what makes the general problem
+NP-hard.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CandidateAp:
+    """One AP the client could join."""
+
+    name: str
+    channel: int
+    bandwidth_bps: float
+    expected_join_time: float
+    join_history_score: float = 0.0
+
+
+@dataclass
+class SelectionOutcome:
+    """A chosen AP set and its computed utility."""
+
+    aps: Tuple[CandidateAp, ...]
+    utility: float  # expected bytes deliverable over the encounter
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(ap.name for ap in self.aps)
+
+
+def utility(
+    selection: Sequence[CandidateAp],
+    in_range_time: float,
+    switch_overhead: float = 0.007,
+    period: float = 0.6,
+    air_capacity_bps: float = 20e6,
+) -> float:
+    """Expected bytes delivered by a selection over the encounter.
+
+    The card splits the period uniformly over the selection's channels
+    (Spider's static multi-channel schedule); each switch costs
+    ``switch_overhead`` out of the period. An AP's join takes
+    ``g_i / f`` wall-clock seconds at schedule fraction ``f`` (joins
+    only progress on-channel), after which it delivers
+    ``min(b_i, f · air_capacity)`` — its backhaul, unless the schedule
+    fraction starves the air. The backhaul/air distinction is what
+    makes visiting a second channel worthwhile on long encounters and
+    useless on short ones.
+    """
+    if not selection:
+        return 0.0
+    channels = sorted({ap.channel for ap in selection})
+    switches = len(channels) if len(channels) > 1 else 0
+    usable = max(0.0, 1.0 - switches * switch_overhead / period)
+    fraction = usable / len(channels)
+    if fraction <= 0.0:
+        return 0.0
+    total = 0.0
+    for channel in channels:
+        group = [ap for ap in selection if ap.channel == channel]
+        # The channel's air is shared by its APs: scale the group down
+        # if their combined backhaul exceeds the schedule's air share.
+        combined = sum(min(ap.bandwidth_bps, air_capacity_bps) for ap in group)
+        air_share = fraction * air_capacity_bps
+        scale = min(1.0, air_share / combined) if combined > 0 else 0.0
+        for ap in group:
+            join_wallclock = ap.expected_join_time / fraction
+            useful = max(0.0, in_range_time - join_wallclock)
+            total += scale * min(ap.bandwidth_bps, air_capacity_bps) * useful / 8.0
+    return total
+
+
+def solve_exact(
+    candidates: Sequence[CandidateAp],
+    in_range_time: float,
+    max_interfaces: int = 7,
+    **utility_kwargs,
+) -> SelectionOutcome:
+    """Exhaustive search: optimal, exponential in ``len(candidates)``.
+
+    Practical only for small candidate sets — which is the point: the
+    general problem is NP-hard, so a driver cannot afford this online.
+    """
+    best: Tuple[float, Tuple[CandidateAp, ...]] = (0.0, ())
+    for size in range(1, min(max_interfaces, len(candidates)) + 1):
+        for subset in itertools.combinations(candidates, size):
+            value = utility(subset, in_range_time, **utility_kwargs)
+            if value > best[0]:
+                best = (value, subset)
+    return SelectionOutcome(aps=best[1], utility=best[0])
+
+
+def solve_greedy_bandwidth(
+    candidates: Sequence[CandidateAp],
+    in_range_time: float,
+    max_interfaces: int = 7,
+    **utility_kwargs,
+) -> SelectionOutcome:
+    """Greedy by offered bandwidth, growing while utility improves."""
+    ranked = sorted(candidates, key=lambda ap: ap.bandwidth_bps, reverse=True)
+    chosen: List[CandidateAp] = []
+    best_value = 0.0
+    for ap in ranked[:max_interfaces]:
+        trial = chosen + [ap]
+        value = utility(trial, in_range_time, **utility_kwargs)
+        if value > best_value:
+            chosen = trial
+            best_value = value
+    return SelectionOutcome(aps=tuple(chosen), utility=best_value)
+
+
+def solve_join_history(
+    candidates: Sequence[CandidateAp],
+    in_range_time: float,
+    max_interfaces: int = 7,
+    single_channel: bool = True,
+    **utility_kwargs,
+) -> SelectionOutcome:
+    """Spider's heuristic: best join history, one channel.
+
+    Ranks by history score; when ``single_channel`` (Spider's operating
+    point at vehicular speed) it takes the best-scoring AP's channel
+    and joins the top APs on that channel only.
+    """
+    ranked = sorted(candidates, key=lambda ap: ap.join_history_score, reverse=True)
+    if not ranked:
+        return SelectionOutcome(aps=(), utility=0.0)
+    if single_channel:
+        channel = ranked[0].channel
+        ranked = [ap for ap in ranked if ap.channel == channel]
+    chosen = tuple(ranked[:max_interfaces])
+    return SelectionOutcome(
+        aps=chosen, utility=utility(chosen, in_range_time, **utility_kwargs)
+    )
+
+
+def optimality_gap(
+    candidates: Sequence[CandidateAp],
+    in_range_time: float,
+    max_interfaces: int = 7,
+) -> Dict[str, float]:
+    """Fraction of the exact optimum each heuristic achieves."""
+    exact = solve_exact(candidates, in_range_time, max_interfaces)
+    greedy = solve_greedy_bandwidth(candidates, in_range_time, max_interfaces)
+    history = solve_join_history(candidates, in_range_time, max_interfaces)
+    denominator = exact.utility or 1.0
+    return {
+        "exact": 1.0,
+        "greedy_bandwidth": greedy.utility / denominator,
+        "join_history": history.utility / denominator,
+    }

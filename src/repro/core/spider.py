@@ -1,0 +1,174 @@
+"""The Spider driver.
+
+Composes the pieces: the channel scheduler (time slices over channels,
+not APs), per-channel uplink queues swapped in and out as the card
+moves, join-history AP selection, opportunistic scanning, and DHCP
+lease caching. Policy follows Sec. 3 of the paper; the defaults follow
+its evaluation setup.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.config import SpiderConfig
+from repro.core.join_history import JoinHistory
+from repro.core.scheduler import ChannelScheduler
+from repro.drivers.base import ApObservation, BaseDriver, VirtualInterface
+from repro.mac import frames
+from repro.net.backhaul import ApRouter
+from repro.phy.radio import Medium
+from repro.sim.engine import Simulator
+from repro.world.mobility import MobilityModel
+
+
+class SpiderDriver(BaseDriver):
+    """Concurrent multi-AP driver for mobile clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobility: MobilityModel,
+        address: str = "spider",
+        config: Optional[SpiderConfig] = None,
+        router_lookup: Optional[Callable[[str], Optional[ApRouter]]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        config = config or SpiderConfig()
+        first_channel = next(iter(config.schedule))
+        super().__init__(
+            sim,
+            medium,
+            mobility,
+            address,
+            config=config,
+            router_lookup=router_lookup,
+            initial_channel=first_channel,
+        )
+        self.config: SpiderConfig = config
+        self.medium = medium
+        self._rng = rng or random.Random(0xF1D0)
+        self.history = JoinHistory(failure_backoff=config.failure_backoff)
+        self.scheduler = ChannelScheduler(self, self._rng)
+        self._uplink_queues: Dict[int, Deque[frames.Frame]] = {
+            channel: deque() for channel in config.schedule
+        }
+        self._last_probe_at: float = -1e9
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.scheduler.start()
+        self._probe_if_due(force=True)
+
+    def stop(self) -> None:
+        self.scheduler.stop()
+        super().stop()
+
+    # -- scheduler hooks --------------------------------------------------------
+
+    def on_dwell_start(self, channel: int) -> None:
+        """Called by the scheduler when a dwell on ``channel`` begins."""
+        if self.config.probe_on_dwell:
+            self._probe_if_due(force=True)
+        # Quick sampling: restart pending DHCP exchanges immediately —
+        # the rest of their retry timers would burn on-channel time.
+        for interface in self.interfaces.values():
+            if interface.channel == channel and interface.associated:
+                interface.dhcp.nudge()
+        self._join_candidates(channel)
+
+    def drain_uplink_queue(self, channel: int) -> None:
+        """Flush data frames queued for this channel while we were away."""
+        queue = self._uplink_queues.get(channel)
+        if not queue:
+            return
+        while queue:
+            self.radio.transmit(queue.popleft())
+
+    # -- periodic policy ------------------------------------------------------------
+
+    def on_tick(self) -> None:
+        self._probe_if_due()
+        self._join_candidates(self.radio.channel)
+
+    def _probe_if_due(self, force: bool = False) -> None:
+        if not self.config.probe_on_dwell:
+            return
+        if force or self.sim.now - self._last_probe_at >= self.config.probe_interval:
+            self._last_probe_at = self.sim.now
+            self.probe_current_channel()
+
+    # -- AP selection --------------------------------------------------------------
+
+    def _selection_key(self, observation: ApObservation) -> float:
+        policy = self.config.selection_policy
+        if policy == "history":
+            return self.history.score(observation.name, self.sim.now)
+        if policy == "rssi":
+            return observation.rssi
+        if policy == "random":
+            return self._rng.random()
+        raise ValueError(f"unknown selection policy: {policy}")
+
+    def _join_candidates(self, channel: int) -> None:
+        """Join APs heard on ``channel`` according to the config."""
+        if channel not in self.config.schedule:
+            return
+        candidates = [
+            obs
+            for obs in self.scanner.current(channel=channel)
+            if obs.name not in self.interfaces
+            and not self.history.blacklisted(obs.name, self.sim.now)
+        ]
+        if not candidates:
+            return
+        candidates.sort(key=self._selection_key, reverse=True)
+        if self.config.multi_ap:
+            for observation in candidates:
+                if len(self.interfaces) >= self.config.max_interfaces:
+                    break
+                self.join(observation)
+        else:
+            if not self.interfaces:
+                self.join(candidates[0])
+
+    # -- outcome hooks -----------------------------------------------------------------
+
+    def on_interface_connected(self, interface: VirtualInterface) -> None:
+        join_time = interface.record.join_time
+        if join_time is not None:
+            self.history.record_success(interface.ap_name, join_time)
+
+    def on_interface_failed(self, interface: VirtualInterface, stage: str) -> None:
+        self.history.record_failure(interface.ap_name, self.sim.now)
+
+    # -- uplink policy ---------------------------------------------------------------------
+
+    def send_data_payload(
+        self, interface: VirtualInterface, payload: object, size: int
+    ) -> bool:
+        """Per-channel queueing: send now if on channel, else queue.
+
+        This is Spider's "one packet queue per channel that is swapped
+        in and out of the driver" (Sec. 3).
+        """
+        frame = frames.data_frame(self.address, interface.ap_name, payload, size)
+        if self.radio.channel == interface.channel and not self.radio.deaf:
+            return self.radio.transmit(frame)
+        queue = self._uplink_queues.get(interface.channel)
+        if queue is None:
+            return False  # AP on an unscheduled channel: cannot serve it
+        if len(queue) >= self.config.uplink_queue_frames:
+            queue.popleft()  # drop-oldest keeps ACK clocking fresh
+        queue.append(frame)
+        return False
+
+    # -- reporting ---------------------------------------------------------------------------
+
+    def switch_latency_table(self) -> Dict[int, List[float]]:
+        """Table 1's raw data: switch latencies keyed by #interfaces."""
+        return self.scheduler.switch_latency_by_interfaces()

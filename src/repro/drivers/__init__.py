@@ -1,0 +1,33 @@
+"""Client-side Wi-Fi drivers.
+
+- :mod:`repro.drivers.base` — shared machinery: virtual interfaces
+  (association + DHCP + TCP flow per AP), frame dispatch, scanning
+  observations, join bookkeeping.
+- :mod:`repro.drivers.stock` — the stock single-AP driver (MadWiFi-like
+  baseline): full-band scan, best-RSSI selection, default timers.
+- :mod:`repro.drivers.multicard` — N independent stock cards (the
+  "two cards, stock" baseline of Fig. 9).
+
+Spider itself lives in :mod:`repro.core`.
+"""
+
+from repro.drivers.base import (
+    ApObservation,
+    BaseDriver,
+    DriverConfig,
+    Scanner,
+    VirtualInterface,
+)
+from repro.drivers.stock import StockDriver, StockConfig
+from repro.drivers.multicard import MultiCardDriver
+
+__all__ = [
+    "ApObservation",
+    "BaseDriver",
+    "DriverConfig",
+    "MultiCardDriver",
+    "Scanner",
+    "StockConfig",
+    "StockDriver",
+    "VirtualInterface",
+]

@@ -1,0 +1,452 @@
+"""Shared client-driver machinery.
+
+A driver owns one radio and manages *virtual interfaces*: one per AP
+the client is (or is becoming) connected to. Each interface composes
+the three protocol stages whose interplay the paper studies —
+link-layer association, DHCP, then a TCP bulk download — and reports
+its timeline into a :class:`~repro.metrics.collector.JoinLog`.
+
+Concrete drivers (stock, Spider) differ in *policy*: which channels the
+radio visits and when, which APs are joined, and whether uplink traffic
+is queued per channel while the radio is elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.mac import frames
+from repro.mac.association import AssociationConfig, AssociationMachine
+from repro.mac.frames import Frame, FrameType
+from repro.metrics.collector import JoinLog, JoinRecord, ThroughputRecorder
+from repro.net.backhaul import ApRouter
+from repro.net.dhcp import DhcpClient, DhcpClientConfig, DhcpMessage, Lease
+from repro.net.tcp import TcpConfig, TcpSegment
+from repro.net.traffic import BulkDownload
+from repro.net.udp import UdpDatagram, VoipStream
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.world.mobility import MobilityModel
+
+
+@dataclass
+class ApObservation:
+    """What the client knows about a heard AP."""
+
+    name: str
+    channel: int
+    last_seen: float
+    rssi: float
+
+
+class Scanner:
+    """Passive + active scanning observations.
+
+    Beacons and probe responses both feed :meth:`observe`. Observations
+    age out after ``horizon`` seconds — a moving client forgets APs it
+    can no longer hear.
+    """
+
+    def __init__(self, sim: Simulator, horizon: float = 5.0):
+        self.sim = sim
+        self.horizon = horizon
+        self._seen: Dict[str, ApObservation] = {}
+
+    def observe(self, name: str, channel: int, rssi: float) -> None:
+        self._seen[name] = ApObservation(name, channel, self.sim.now, rssi)
+
+    def forget(self, name: str) -> None:
+        self._seen.pop(name, None)
+
+    def current(self, channel: Optional[int] = None) -> List[ApObservation]:
+        """Fresh observations, optionally restricted to one channel."""
+        cutoff = self.sim.now - self.horizon
+        return [
+            obs
+            for obs in self._seen.values()
+            if obs.last_seen >= cutoff and (channel is None or obs.channel == channel)
+        ]
+
+    def last_seen(self, name: str) -> Optional[float]:
+        obs = self._seen.get(name)
+        return obs.last_seen if obs is not None else None
+
+
+@dataclass
+class DriverConfig:
+    """Policy-independent driver knobs (timers are the paper's)."""
+
+    max_interfaces: int = 7
+    link_timeout: float = 1.0  # per-message link-layer timer
+    dhcp_retry_timeout: float = 1.0  # per-message DHCP timer
+    dhcp_attempt_window: float = 3.0
+    dhcp_idle_backoff: float = 60.0
+    dhcp_restart_immediately: bool = False
+    lease_cache_enabled: bool = True
+    teardown_on_dhcp_failure: bool = True
+    ap_silence_timeout: float = 4.0  # unheard this long → connection lost
+    maintenance_interval: float = 0.5
+    uplink_queue_frames: int = 200
+    #: Start a bulk download automatically on every joined AP (the
+    #: paper's workload). Disable for latency-sensitive studies (VoIP).
+    auto_flow: bool = True
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+
+    def association_config(self) -> AssociationConfig:
+        return AssociationConfig(link_timeout=self.link_timeout)
+
+    def dhcp_config(self) -> DhcpClientConfig:
+        return DhcpClientConfig(
+            retry_timeout=self.dhcp_retry_timeout,
+            attempt_window=self.dhcp_attempt_window,
+            idle_backoff=self.dhcp_idle_backoff,
+            restart_immediately=self.dhcp_restart_immediately,
+        )
+
+
+class VirtualInterface:
+    """One client ↔ AP binding: association → DHCP → TCP flow."""
+
+    def __init__(
+        self,
+        driver: "BaseDriver",
+        ap_name: str,
+        channel: int,
+        router: Optional[ApRouter],
+        record: JoinRecord,
+    ):
+        self.driver = driver
+        self.ap_name = ap_name
+        self.channel = channel
+        self.router = router
+        self.record = record
+        self.flow: Optional[BulkDownload] = None
+        self.voip: Optional[VoipStream] = None
+        sim = driver.sim
+        config = driver.config
+        self.assoc = AssociationMachine(
+            sim,
+            driver.radio,
+            driver.address,
+            ap_name,
+            channel,
+            config=config.association_config(),
+            on_result=self._on_assoc_result,
+        )
+        self.dhcp = DhcpClient(
+            sim,
+            driver.address,
+            ap_name,
+            config=config.dhcp_config(),
+            transmit=self._send_dhcp,
+            on_bound=self._on_dhcp_bound,
+            on_failed=self._on_dhcp_failed,
+        )
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def associated(self) -> bool:
+        return self.assoc.associated
+
+    @property
+    def connected(self) -> bool:
+        """Fully joined: associated and holding a lease."""
+        return self.assoc.associated and self.dhcp.bound
+
+    def start(self) -> None:
+        self.assoc.start()
+
+    def teardown(self) -> None:
+        self.sync_record_counters()
+        if self.flow is not None:
+            self.flow.stop()
+            self.flow = None
+        if self.voip is not None:
+            self.voip.stop()
+            self.voip = None
+        self.assoc.abort()
+        self.dhcp.abort()
+
+    def sync_record_counters(self) -> None:
+        """Copy message-level DHCP accounting into the join record."""
+        self.record.dhcp_transmissions = self.dhcp.total_transmissions
+        self.record.dhcp_message_timeouts = self.dhcp.message_timeouts
+
+    def attach_voip(self, interval: float = 0.020, payload_bytes: int = 200) -> Optional[VoipStream]:
+        """Start a VoIP-style CBR stream through this interface.
+
+        Returns None if the interface has no router (no wired side).
+        """
+        if self.router is None or self.voip is not None:
+            return self.voip
+        client = self.driver.address
+        self.voip = VoipStream(
+            self.driver.sim,
+            send=lambda datagram: self.router.send_down(client, datagram),
+            interval=interval,
+            payload_bytes=payload_bytes,
+        )
+        self.voip.start()
+        return self.voip
+
+    # -- stage transitions ------------------------------------------------
+
+    def _on_assoc_result(self, machine: AssociationMachine, success: bool) -> None:
+        if not success:
+            self.record.failed_at = self.driver.sim.now
+            self.driver._on_interface_failed(self, stage="association")
+            return
+        self.record.associated_at = self.driver.sim.now
+        cached = self.driver.cached_lease(self.ap_name)
+        if cached is not None:
+            self.record.used_cached_lease = True
+            self.dhcp.bind_cached(cached)
+        else:
+            self.dhcp.start()
+
+    def _on_dhcp_bound(self, client: DhcpClient, lease: Lease) -> None:
+        self.record.bound_at = self.driver.sim.now
+        self.sync_record_counters()
+        self.driver.store_lease(self.ap_name, lease)
+        self._start_flow()
+        self.driver._on_interface_connected(self)
+
+    def _on_dhcp_failed(self, client: DhcpClient) -> None:
+        self.record.dhcp_failures += 1
+        self.sync_record_counters()
+        self.driver._on_interface_failed(self, stage="dhcp")
+
+    def _start_flow(self) -> None:
+        if self.router is None or self.flow is not None:
+            return
+        if not self.driver.config.auto_flow:
+            return
+        self.flow = BulkDownload(
+            self.driver.sim,
+            self.router,
+            self.driver.address,
+            send_uplink=self._send_tcp,
+            tcp_config=self.driver.config.tcp,
+            on_deliver=self.driver.recorder.record,
+        )
+        self.flow.start()
+
+    # -- uplink ------------------------------------------------------------
+
+    def _send_dhcp(self, message: DhcpMessage) -> bool:
+        """DHCP messages are join traffic: sent only while on channel."""
+        return self.driver.send_join_payload(self, message, message.size_bytes)
+
+    def _send_tcp(self, segment: TcpSegment) -> bool:
+        """Data traffic: the driver may queue it per channel."""
+        return self.driver.send_data_payload(self, segment, segment.size_bytes)
+
+    # -- downlink -------------------------------------------------------------
+
+    def handle_frame(self, frame: Frame) -> None:
+        if frame.type in (
+            FrameType.AUTH_RESPONSE,
+            FrameType.ASSOC_RESPONSE,
+            FrameType.DEAUTH,
+        ):
+            self.assoc.handle_frame(frame)
+        elif frame.type == FrameType.DATA:
+            payload = frame.payload
+            if isinstance(payload, DhcpMessage):
+                self.dhcp.handle(payload)
+            elif isinstance(payload, TcpSegment) and self.flow is not None:
+                self.flow.on_downlink_segment(payload)
+            elif isinstance(payload, UdpDatagram) and self.voip is not None:
+                self.voip.on_datagram(payload)
+
+
+class BaseDriver:
+    """Common driver skeleton; subclasses implement policy hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobility: MobilityModel,
+        address: str,
+        config: Optional[DriverConfig] = None,
+        router_lookup: Optional[Callable[[str], Optional[ApRouter]]] = None,
+        initial_channel: int = 1,
+    ):
+        self.sim = sim
+        self.address = address
+        self.config = config or DriverConfig()
+        self.radio = Radio(medium, mobility, initial_channel, name=address, address=address)
+        self.radio.on_receive = self._on_frame
+        self.router_lookup = router_lookup or (lambda name: None)
+        self.scanner = Scanner(sim)
+        self.join_log = JoinLog()
+        self.recorder = ThroughputRecorder(sim)
+        self.interfaces: Dict[str, VirtualInterface] = {}
+        self._leases: Dict[str, Lease] = {}
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0.0, self._maintenance_tick)
+        self.on_start()
+
+    def stop(self) -> None:
+        self._running = False
+        for interface in list(self.interfaces.values()):
+            self._teardown_interface(interface)
+
+    def on_start(self) -> None:
+        """Subclass hook: start schedulers / scanning."""
+
+    def on_tick(self) -> None:
+        """Subclass hook: periodic policy decisions."""
+
+    def _maintenance_tick(self) -> None:
+        if not self._running:
+            return
+        self._reap_silent_aps()
+        self.on_tick()
+        self.sim.schedule(self.config.maintenance_interval, self._maintenance_tick)
+
+    def _reap_silent_aps(self) -> None:
+        cutoff = self.sim.now - self.config.ap_silence_timeout
+        for name, interface in list(self.interfaces.items()):
+            last = self.scanner.last_seen(name)
+            started_recently = self.sim.now - interface.record.started_at < (
+                self.config.ap_silence_timeout
+            )
+            if started_recently:
+                continue
+            if last is None or last < cutoff:
+                self._on_connection_lost(interface)
+
+    # -- lease cache ---------------------------------------------------------
+
+    def cached_lease(self, ap_name: str) -> Optional[Lease]:
+        if not self.config.lease_cache_enabled:
+            return None
+        lease = self._leases.get(ap_name)
+        if lease is not None and not lease.expired(self.sim.now):
+            return lease
+        return None
+
+    def store_lease(self, ap_name: str, lease: Lease) -> None:
+        self._leases[ap_name] = lease
+
+    # -- join / teardown -------------------------------------------------------
+
+    def join(self, observation: ApObservation) -> Optional[VirtualInterface]:
+        """Open an interface toward an observed AP and start joining."""
+        if observation.name in self.interfaces:
+            return None
+        if len(self.interfaces) >= self.config.max_interfaces:
+            return None
+        record = self.join_log.open_record(observation.name, observation.channel, self.sim.now)
+        interface = VirtualInterface(
+            self,
+            observation.name,
+            observation.channel,
+            self.router_lookup(observation.name),
+            record,
+        )
+        self.interfaces[observation.name] = interface
+        interface.start()
+        return interface
+
+    def _teardown_interface(self, interface: VirtualInterface) -> None:
+        interface.teardown()
+        self.interfaces.pop(interface.ap_name, None)
+
+    def _on_connection_lost(self, interface: VirtualInterface) -> None:
+        self.scanner.forget(interface.ap_name)
+        self._teardown_interface(interface)
+        self.on_connection_lost(interface)
+
+    def on_connection_lost(self, interface: VirtualInterface) -> None:
+        """Subclass hook (e.g. stock driver triggers a rescan)."""
+
+    def _on_interface_connected(self, interface: VirtualInterface) -> None:
+        self.on_interface_connected(interface)
+
+    def on_interface_connected(self, interface: VirtualInterface) -> None:
+        """Subclass hook."""
+
+    def _on_interface_failed(self, interface: VirtualInterface, stage: str) -> None:
+        if stage == "dhcp" and not self.config.teardown_on_dhcp_failure:
+            # Stock behaviour: the DHCP client idles and retries in place.
+            self.on_interface_failed(interface, stage)
+            return
+        if interface.record.failed_at is None:
+            interface.record.failed_at = self.sim.now
+        self._teardown_interface(interface)
+        self.on_interface_failed(interface, stage)
+
+    def on_interface_failed(self, interface: VirtualInterface, stage: str) -> None:
+        """Subclass hook (e.g. Spider updates its join history)."""
+
+    # -- uplink policy (overridden by Spider) -------------------------------------
+
+    def send_join_payload(
+        self, interface: VirtualInterface, payload: object, size: int
+    ) -> bool:
+        """Send join traffic now if the card is on the right channel.
+
+        DHCP rides broadcast frames on real networks (the client has no
+        address yet), so it gets no link-layer ARQ: a lost request is
+        recovered only by the DHCP retransmit timer — which is exactly
+        why the paper's timer reductions matter.
+        """
+        if self.radio.channel != interface.channel or self.radio.deaf:
+            return False
+        frame = frames.data_frame(self.address, interface.ap_name, payload, size)
+        frame.needs_ack = False
+        frame.bufferable = False
+        return self.radio.transmit(frame)
+
+    def send_data_payload(
+        self, interface: VirtualInterface, payload: object, size: int
+    ) -> bool:
+        """Default data path: same as join traffic (no queueing)."""
+        return self.send_join_payload(interface, payload, size)
+
+    # -- scanning -----------------------------------------------------------------
+
+    def probe_current_channel(self) -> None:
+        """Active scan: broadcast a probe request on the tuned channel."""
+        self.radio.transmit(
+            frames.mgmt_frame(FrameType.PROBE_REQUEST, self.address, frames.BROADCAST)
+        )
+
+    # -- frame dispatch ---------------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.dst not in (self.address, frames.BROADCAST):
+            return
+        if frame.type in (FrameType.BEACON, FrameType.PROBE_RESPONSE):
+            payload = frame.payload or {}
+            channel = payload.get("channel", self.radio.channel)
+            self.scanner.observe(frame.src, channel, self.radio.last_rssi)
+        else:
+            self.scanner.observe(frame.src, self.radio.channel, self.radio.last_rssi)
+        interface = self.interfaces.get(frame.src)
+        if interface is not None:
+            interface.handle_frame(frame)
+
+    # -- results -------------------------------------------------------------------------
+
+    def connected_interfaces(self) -> List[VirtualInterface]:
+        return [iface for iface in self.interfaces.values() if iface.connected]
+
+    def associated_interfaces(self, channel: Optional[int] = None) -> List[VirtualInterface]:
+        return [
+            iface
+            for iface in self.interfaces.values()
+            if iface.associated and (channel is None or iface.channel == channel)
+        ]

@@ -1,0 +1,83 @@
+"""Multi-card baseline: N physical radios, each running a stock driver.
+
+The hardware alternative to virtualized Wi-Fi ("two cards, stock" in
+Fig. 9): each card associates with its own AP, so the node aggregates
+backhauls with zero switching overhead — at the cost of extra hardware.
+The cards share one throughput recorder (the node's aggregate) and
+coordinate only to avoid joining the same AP twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.drivers.base import ApObservation
+from repro.drivers.stock import StockConfig, StockDriver
+from repro.metrics.collector import ThroughputRecorder
+from repro.net.backhaul import ApRouter
+from repro.phy.radio import Medium
+from repro.sim.engine import Simulator
+from repro.world.mobility import MobilityModel
+
+
+class _CoordinatedStockDriver(StockDriver):
+    """A stock card that avoids APs its sibling cards already use."""
+
+    def __init__(self, *args, siblings: List["_CoordinatedStockDriver"], **kwargs):
+        self._siblings = siblings
+        super().__init__(*args, **kwargs)
+
+    def _taken_elsewhere(self, ap_name: str) -> bool:
+        return any(
+            ap_name in sibling.interfaces for sibling in self._siblings if sibling is not self
+        )
+
+    def _eligible(self, observation: ApObservation) -> bool:
+        if self._taken_elsewhere(observation.name):
+            return False
+        return super()._eligible(observation)
+
+
+class MultiCardDriver:
+    """N independent stock cards acting as one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobility: MobilityModel,
+        address: str = "multicard",
+        cards: int = 2,
+        config: Optional[StockConfig] = None,
+        router_lookup: Optional[Callable[[str], Optional[ApRouter]]] = None,
+    ):
+        self.sim = sim
+        self.address = address
+        self.recorder = ThroughputRecorder(sim)
+        self.drivers: List[_CoordinatedStockDriver] = []
+        for index in range(cards):
+            driver = _CoordinatedStockDriver(
+                sim,
+                medium,
+                mobility,
+                f"{address}.{index}",
+                config=config or StockConfig(),
+                router_lookup=router_lookup,
+                siblings=self.drivers,
+            )
+            driver.recorder = self.recorder  # shared aggregate accounting
+            self.drivers.append(driver)
+
+    def start(self) -> None:
+        # Stagger card start-up: a card's claim on an AP is only visible
+        # to siblings once its join begins, so simultaneous first scans
+        # would race onto the same AP.
+        for index, driver in enumerate(self.drivers):
+            self.sim.schedule(index * 2.5, driver.start)
+
+    def stop(self) -> None:
+        for driver in self.drivers:
+            driver.stop()
+
+    def connected_interfaces(self):
+        return [iface for driver in self.drivers for iface in driver.connected_interfaces()]

@@ -1,0 +1,108 @@
+"""Stock single-AP Wi-Fi driver (the MadWiFi-like baseline).
+
+Behaviour of an unmodified client: scan the whole 2.4 GHz band when
+unassociated (~150 ms per channel), pick the strongest-RSSI AP, join it
+with default timers (1 s link-layer, 1 s DHCP retransmit, 3 s attempt
+window, 60 s idle backoff on failure), and stay with that one AP until
+the connection dies. This is the comparison point for Table 2's last
+row and Fig. 9's "one card, stock" curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.drivers.base import ApObservation, BaseDriver, DriverConfig, VirtualInterface
+
+
+@dataclass
+class StockConfig(DriverConfig):
+    """Stock driver knobs; defaults mirror unmodified clients."""
+
+    scan_channels: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+    scan_dwell: float = 0.150
+    rescan_interval: float = 1.0
+    switch_reset: float = 5e-3
+    failure_backoff: float = 5.0
+
+    def __post_init__(self) -> None:
+        # A stock driver drives exactly one association at a time, and
+        # a failed DHCP client idles in place (no teardown). Stock
+        # clients are also slow roamers: they ride a dead association
+        # for many seconds before declaring link loss and rescanning.
+        self.max_interfaces = 1
+        self.teardown_on_dhcp_failure = False
+        self.ap_silence_timeout = 8.0
+
+
+class StockDriver(BaseDriver):
+    """Single-AP, best-RSSI, full-band-scanning client."""
+
+    def __init__(self, *args, **kwargs):
+        config = kwargs.get("config")
+        if config is None:
+            kwargs["config"] = StockConfig()
+        super().__init__(*args, **kwargs)
+        self.config: StockConfig = self.config  # narrow the type
+        self._scanning = False
+        self._failed_at: Dict[str, float] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._begin_scan()
+
+    def on_connection_lost(self, interface: VirtualInterface) -> None:
+        self._begin_scan()
+
+    def on_interface_failed(self, interface: VirtualInterface, stage: str) -> None:
+        self._failed_at[interface.ap_name] = self.sim.now
+        if stage == "association":
+            self._begin_scan()
+        # A DHCP failure leaves the interface up: the stock client idles
+        # for its 60 s backoff and then retries in place.
+
+    # -- scanning ------------------------------------------------------------
+
+    def _begin_scan(self) -> None:
+        if self._scanning or not self._running or self.interfaces:
+            return
+        self._scanning = True
+        self.sim.process(self._scan_loop())
+
+    def _scan_loop(self):
+        config = self.config
+        try:
+            while self._running and not self.interfaces:
+                for channel in config.scan_channels:
+                    if not self._running or self.interfaces:
+                        return
+                    self.radio.set_channel(channel)
+                    self.radio.go_deaf(config.switch_reset)
+                    yield self.sim.timeout(config.switch_reset)
+                    self.probe_current_channel()
+                    yield self.sim.timeout(config.scan_dwell)
+                best = self._best_candidate()
+                if best is not None:
+                    if self.radio.channel != best.channel:
+                        self.radio.set_channel(best.channel)
+                        self.radio.go_deaf(config.switch_reset)
+                        yield self.sim.timeout(config.switch_reset)
+                    self.join(best)
+                    return
+                yield self.sim.timeout(config.rescan_interval)
+        finally:
+            self._scanning = False
+
+    def _eligible(self, observation: ApObservation) -> bool:
+        failed = self._failed_at.get(observation.name)
+        if failed is None:
+            return True
+        return self.sim.now - failed >= self.config.failure_backoff
+
+    def _best_candidate(self) -> Optional[ApObservation]:
+        candidates = [obs for obs in self.scanner.current() if self._eligible(obs)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda obs: obs.rssi)

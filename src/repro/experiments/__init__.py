@@ -1,0 +1,20 @@
+"""Experiment runners: one module per paper table/figure.
+
+Every runner returns a plain-dict result that prints the same
+rows/series the paper reports; the benchmark harness
+(``benchmarks/``) wraps these. See DESIGN.md §4 for the index.
+"""
+
+from repro.experiments.common import (
+    LabScenario,
+    RunResult,
+    ScenarioConfig,
+    VehicularScenario,
+)
+
+__all__ = [
+    "LabScenario",
+    "RunResult",
+    "ScenarioConfig",
+    "VehicularScenario",
+]

@@ -1,0 +1,136 @@
+"""Ablations of Spider's design choices (DESIGN.md §5).
+
+Not a paper artifact — these quantify the contribution of each design
+decision the paper motivates qualitatively:
+
+- AP selection policy: join-history (Spider) vs best-RSSI vs random;
+- DHCP lease caching on vs off;
+- fake-PSM buffering on vs off;
+- channel-based slicing (Spider) vs AP-based slicing (FatVAP-style).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import SpiderConfig
+from repro.core.fatvap import FatVapConfig
+from repro.experiments.common import ScenarioConfig, VehicularScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def _run_spider(config: SpiderConfig, seed: int, duration: float):
+    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    return scenario.run(scenario.make_spider(config), duration)
+
+
+def selection_policy(seed: int = 3, duration: float = 600.0) -> List[Dict]:
+    rows = []
+    for policy in ("history", "rssi", "random"):
+        config = SpiderConfig.single_channel_multi_ap(
+            channel=1, selection_policy=policy, **REDUCED
+        )
+        result = _run_spider(config, seed, duration)
+        rows.append(
+            {
+                "policy": policy,
+                "throughput_kBps": result.throughput_kbytes_per_s,
+                "connectivity_pct": result.connectivity * 100,
+                "join_successes": result.join_successes,
+            }
+        )
+    return rows
+
+
+def lease_cache(seed: int = 3, duration: float = 900.0) -> List[Dict]:
+    rows = []
+    for enabled in (True, False):
+        config = SpiderConfig.single_channel_multi_ap(
+            channel=1, lease_cache_enabled=enabled, **REDUCED
+        )
+        result = _run_spider(config, seed, duration)
+        rows.append(
+            {
+                "lease_cache": enabled,
+                "throughput_kBps": result.throughput_kbytes_per_s,
+                "connectivity_pct": result.connectivity * 100,
+            }
+        )
+    return rows
+
+
+def psm(seed: int = 3, duration: float = 600.0) -> List[Dict]:
+    rows = []
+    for enabled in (True, False):
+        config = SpiderConfig.multi_channel_multi_ap(period=0.6, use_psm=enabled, **REDUCED)
+        result = _run_spider(config, seed, duration)
+        rows.append(
+            {
+                "psm": enabled,
+                "throughput_kBps": result.throughput_kbytes_per_s,
+                "connectivity_pct": result.connectivity * 100,
+            }
+        )
+    return rows
+
+
+def slicing_architecture(seed: int = 3, duration: float = 600.0) -> List[Dict]:
+    """Channel-based (Spider) vs AP-based (FatVAP-style) slicing."""
+    rows = []
+    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    spider = scenario.make_spider(
+        SpiderConfig.single_channel_multi_ap(channel=1, **REDUCED)
+    )
+    result = scenario.run(spider, duration)
+    rows.append(
+        {
+            "architecture": "channel-based (Spider)",
+            "throughput_kBps": result.throughput_kbytes_per_s,
+            "connectivity_pct": result.connectivity * 100,
+        }
+    )
+    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    fatvap = scenario.make_fatvap(
+        FatVapConfig(channels=(1,), link_timeout=0.1, dhcp_retry_timeout=0.2,
+                     dhcp_restart_immediately=True, teardown_on_dhcp_failure=False)
+    )
+    result = scenario.run(fatvap, duration)
+    rows.append(
+        {
+            "architecture": "AP-based (FatVAP-style)",
+            "throughput_kBps": result.throughput_kbytes_per_s,
+            "connectivity_pct": result.connectivity * 100,
+        }
+    )
+    return rows
+
+
+def run(seed: int = 3, duration: float = 600.0) -> Dict:
+    return {
+        "experiment": "ablations",
+        "selection_policy": selection_policy(seed, duration),
+        "lease_cache": lease_cache(seed, duration),
+        "psm": psm(seed, duration),
+        "slicing": slicing_architecture(seed, duration),
+    }
+
+
+def print_report(result: Dict) -> None:
+    print("Ablations")
+    print(" AP selection policy:")
+    for row in result["selection_policy"]:
+        print(f"   {row['policy']:8s} thr={row['throughput_kBps']:7.1f} KB/s"
+              f" conn={row['connectivity_pct']:5.1f}%")
+    print(" lease cache:")
+    for row in result["lease_cache"]:
+        print(f"   enabled={row['lease_cache']!s:5s} thr={row['throughput_kBps']:7.1f}"
+              f" conn={row['connectivity_pct']:5.1f}%")
+    print(" fake PSM:")
+    for row in result["psm"]:
+        print(f"   enabled={row['psm']!s:5s} thr={row['throughput_kBps']:7.1f}"
+              f" conn={row['connectivity_pct']:5.1f}%")
+    print(" slicing architecture:")
+    for row in result["slicing"]:
+        print(f"   {row['architecture']:25s} thr={row['throughput_kBps']:7.1f}"
+              f" conn={row['connectivity_pct']:5.1f}%")

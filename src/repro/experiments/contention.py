@@ -1,0 +1,82 @@
+"""Multi-client contention (extension, Sec. 4.8).
+
+"Exploring potential problems raised by interference as more users
+adopt concurrent Wi-Fi schemes require[s] future work."
+
+This experiment puts N concurrent Spider clients in the same lab world
+(two APs on one channel) and sweeps N. The shared medium and the AP
+backhauls are the contended resources: aggregate throughput should
+saturate at the bottleneck while per-client throughput decays roughly
+as 1/N — quantifying how well concurrent-Wi-Fi gains survive adoption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def run_population(
+    clients: int,
+    duration: float = 45.0,
+    backhaul_bps: float = 4e6,
+    aps: int = 2,
+    seed: int = 17,
+) -> Dict:
+    """One population size: N Spiders sharing the same channel-1 APs."""
+    lab = LabScenario(seed=seed)
+    for index in range(aps):
+        lab.add_lab_ap(f"ap{index}", 1, backhaul_bps, index=2 * index)
+    drivers = []
+    for index in range(clients):
+        driver = lab.make_spider(
+            SpiderConfig.single_channel_multi_ap(1, **REDUCED),
+            address=f"client{index}",
+        )
+        driver.start()
+        drivers.append(driver)
+    lab.sim.run(until=duration)
+    throughputs = [d.recorder.average_throughput_kbytes_per_s() for d in drivers]
+    joined = [len(d.connected_interfaces()) for d in drivers]
+    for driver in drivers:
+        driver.stop()
+    aggregate = sum(throughputs)
+    return {
+        "clients": clients,
+        "aggregate_kBps": aggregate,
+        "per_client_kBps": aggregate / clients if clients else 0.0,
+        "min_client_kBps": min(throughputs) if throughputs else 0.0,
+        "joined_interfaces": joined,
+    }
+
+
+def run(
+    populations: Sequence[int] = (1, 2, 4, 8),
+    duration: float = 45.0,
+    backhaul_bps: float = 4e6,
+    aps: int = 2,
+) -> Dict:
+    rows = [
+        run_population(n, duration=duration, backhaul_bps=backhaul_bps, aps=aps)
+        for n in populations
+    ]
+    return {
+        "experiment": "contention",
+        "bottleneck_kBps": aps * backhaul_bps / 8.0 / 1000.0,
+        "rows": rows,
+    }
+
+
+def print_report(result: Dict) -> None:
+    print("Extension — multi-client contention (shared channel & APs)")
+    print(f"  backhaul bottleneck: {result['bottleneck_kBps']:.0f} KB/s aggregate")
+    print("  clients  aggregate(KB/s)  per-client(KB/s)  min-client(KB/s)")
+    for row in result["rows"]:
+        print(
+            f"  {row['clients']:7d}  {row['aggregate_kBps']:15.1f}"
+            f"  {row['per_client_kBps']:16.1f}  {row['min_client_kBps']:16.1f}"
+        )

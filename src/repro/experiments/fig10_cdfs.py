@@ -1,0 +1,72 @@
+"""Fig. 10 — CDFs of connection duration, disruption, instantaneous bw.
+
+The same four Spider configurations as Table 2, reported as three CDFs:
+
+- (a) connection durations: longest by staying on one channel with
+  many APs; shortest for multi-channel multi-AP (joins on orthogonal
+  channels chop connections up);
+- (b) disruptions: shortest for multi-channel multi-AP (largest AP
+  pool), longest for single-channel (dead zones on that channel);
+- (c) instantaneous bandwidth: single-channel multi-AP dominates
+  (60th pct ≈ 300 KB/s, 90th ≈ 1000 KB/s in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.tab2_throughput_connectivity import run_config
+from repro.metrics.stats import empirical_cdf, median, percentile
+
+CONFIGS = ("ch1-multi-ap", "ch1-single-ap", "3ch-multi-ap", "3ch-single-ap")
+
+
+def run(
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIGS,
+) -> Dict:
+    series = []
+    for name in configs:
+        result = run_config(name, seed=seed, duration=duration)
+        connections = result.connection_durations
+        disruptions = result.disruption_durations
+        bandwidths = result.instantaneous_kbytes
+        series.append(
+            {
+                "config": name,
+                "connection_durations": connections,
+                "disruption_durations": disruptions,
+                "instantaneous_kBps": bandwidths,
+                "connection_cdf": empirical_cdf(connections),
+                "disruption_cdf": empirical_cdf(disruptions),
+                "bandwidth_cdf": empirical_cdf(bandwidths),
+                "median_connection": median(connections),
+                "median_disruption": median(disruptions),
+                "bw_p60": percentile(bandwidths, 60),
+                "bw_p90": percentile(bandwidths, 90),
+            }
+        )
+    return {"experiment": "fig10", "series": series}
+
+
+def print_report(result: Dict) -> None:
+    from repro.metrics.plots import cdf_plot
+
+    print("Fig. 10 — connection/disruption/instantaneous-bandwidth CDFs")
+    print("  config          med-conn(s)  med-disr(s)  bw p60(KB/s)  bw p90(KB/s)")
+    for series in result["series"]:
+        print(
+            f"  {series['config']:15s} {series['median_connection']:10.1f}"
+            f"  {series['median_disruption']:10.1f}"
+            f"  {series['bw_p60']:12.0f}  {series['bw_p90']:12.0f}"
+        )
+    print("\n  (c) instantaneous bandwidth CDF:")
+    print(
+        cdf_plot(
+            [(s["config"], s["instantaneous_kBps"]) for s in result["series"]],
+            x_label="KB/s",
+            width=56,
+            height=12,
+        )
+    )

@@ -1,0 +1,78 @@
+"""Fig. 13 — connection lengths: mesh users vs Spider.
+
+Compares the CDF of real users' TCP connection durations (synthetic
+mesh trace) with the CDF of connection lengths Spider sustains in its
+single-channel and multi-channel multi-AP modes. The paper's reading:
+Spider's connections are long enough to cover essentially all the TCP
+flows users actually create.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.tab2_throughput_connectivity import run_config
+from repro.metrics.stats import cdf_at, empirical_cdf, median, percentile
+from repro.usability.mesh_trace import MeshTraceConfig, generate_mesh_trace
+
+CONFIGS = ("ch1-multi-ap", "3ch-multi-ap")
+
+
+def run(
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIGS,
+    trace_config: MeshTraceConfig = MeshTraceConfig(),
+) -> Dict:
+    trace = generate_mesh_trace(trace_config)
+    user_durations = trace.durations
+    series = [
+        {
+            "label": "users connection duration",
+            "durations": user_durations,
+            "cdf": empirical_cdf(user_durations),
+            "median": median(user_durations),
+        }
+    ]
+    coverage = {}
+    for name in configs:
+        result = run_config(name, seed=seed, duration=duration)
+        connections = result.connection_durations
+        series.append(
+            {
+                "label": f"multiple APs ({name})",
+                "durations": connections,
+                "cdf": empirical_cdf(connections),
+                "median": median(connections),
+            }
+        )
+        # Fraction of user flows short enough to fit inside the 90th
+        # percentile Spider connection — "can Spider carry user flows?"
+        p90_connection = percentile(connections, 90)
+        coverage[name] = cdf_at(user_durations, p90_connection)
+    return {
+        "experiment": "fig13",
+        "series": series,
+        "coverage": coverage,
+        "trace_summary": trace.summary(),
+    }
+
+
+def print_report(result: Dict) -> None:
+    from repro.metrics.plots import cdf_plot
+
+    print("Fig. 13 — connection lengths: users vs Spider")
+    for series in result["series"]:
+        print(f"  {series['label']:35s} n={len(series['durations']):6d}"
+              f"  median={series['median']:6.1f}s")
+    for name, frac in result["coverage"].items():
+        print(f"  user flows covered by {name} p90 connection: {frac:.0%}")
+    print(
+        cdf_plot(
+            [(s["label"], s["durations"]) for s in result["series"]],
+            x_label="connection duration (s)",
+            x_max=100.0,
+            width=56,
+            height=12,
+        )
+    )

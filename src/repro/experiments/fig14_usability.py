@@ -1,0 +1,64 @@
+"""Fig. 14 — disruption lengths: mesh users vs Spider.
+
+Compares users' inter-connection times (how long they naturally go
+between TCP connections) with the disruptions Spider experiences. The
+paper's reading: the multi-channel multi-AP mode's disruptions are
+comparable to the gaps users already tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.tab2_throughput_connectivity import run_config
+from repro.metrics.stats import empirical_cdf, median
+from repro.usability.mesh_trace import MeshTraceConfig, generate_mesh_trace
+
+CONFIGS = ("ch1-multi-ap", "3ch-multi-ap")
+
+
+def run(
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIGS,
+    trace_config: MeshTraceConfig = MeshTraceConfig(),
+) -> Dict:
+    trace = generate_mesh_trace(trace_config)
+    series = [
+        {
+            "label": "user inter-connection",
+            "values": trace.gaps,
+            "cdf": empirical_cdf(trace.gaps),
+            "median": median(trace.gaps),
+        }
+    ]
+    for name in configs:
+        result = run_config(name, seed=seed, duration=duration)
+        disruptions = result.disruption_durations
+        series.append(
+            {
+                "label": f"multiple APs ({name})",
+                "values": disruptions,
+                "cdf": empirical_cdf(disruptions),
+                "median": median(disruptions),
+            }
+        )
+    return {"experiment": "fig14", "series": series}
+
+
+def print_report(result: Dict) -> None:
+    from repro.metrics.plots import cdf_plot
+
+    print("Fig. 14 — disruption lengths: users vs Spider")
+    for series in result["series"]:
+        print(f"  {series['label']:35s} n={len(series['values']):6d}"
+              f"  median={series['median']:6.1f}s")
+    print(
+        cdf_plot(
+            [(s["label"], s["values"]) for s in result["series"]],
+            x_label="disruption length (s)",
+            x_max=300.0,
+            width=56,
+            height=12,
+        )
+    )

@@ -1,0 +1,76 @@
+"""Fig. 2 — join-success probability vs fraction of time on channel.
+
+Model (Eq. 7) against the Monte-Carlo simulation, for βmax = 5 s and
+10 s, with the paper's parameters: D = 500 ms, t = 4 s, βmin = 500 ms,
+w = 7 ms, c = 100 ms, h = 10%; 100 runs × 100 trials per point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.model.join_model import JoinModelParams, join_success_probability
+from repro.model.join_simulation import simulate_join_probability
+
+DEFAULT_FRACTIONS = [round(0.05 * i, 2) for i in range(1, 21)]
+
+
+def run(
+    fractions: Optional[Sequence[float]] = None,
+    beta_maxes: Sequence[float] = (5.0, 10.0),
+    in_range_time: float = 4.0,
+    runs: int = 100,
+    trials_per_run: int = 100,
+    seed: int = 0,
+) -> Dict:
+    """Compute the model and simulation series for each βmax."""
+    fractions = list(fractions or DEFAULT_FRACTIONS)
+    series = []
+    for beta_max in beta_maxes:
+        params = JoinModelParams(beta_max=beta_max)
+        model = [
+            join_success_probability(params, fraction, in_range_time)
+            for fraction in fractions
+        ]
+        simulated = [
+            simulate_join_probability(
+                params, fraction, in_range_time, runs=runs,
+                trials_per_run=trials_per_run, seed=seed,
+            )
+            for fraction in fractions
+        ]
+        series.append(
+            {
+                "beta_max": beta_max,
+                "model": model,
+                "sim_mean": [s.mean for s in simulated],
+                "sim_std": [s.std for s in simulated],
+            }
+        )
+    return {"experiment": "fig2", "fractions": fractions, "series": series}
+
+
+def max_model_sim_gap(result: Dict) -> float:
+    """Largest |model − sim| across all points (corroboration check)."""
+    gap = 0.0
+    for series in result["series"]:
+        for model, sim in zip(series["model"], series["sim_mean"]):
+            gap = max(gap, abs(model - sim))
+    return gap
+
+
+def print_report(result: Dict) -> None:
+    print("Fig. 2 — P(join success) vs fraction of time on channel")
+    header = "  f_i   " + "   ".join(
+        f"model(b={s['beta_max']:g})  sim(b={s['beta_max']:g})" for s in result["series"]
+    )
+    print(header)
+    for i, fraction in enumerate(result["fractions"]):
+        row = f"  {fraction:4.2f} "
+        for series in result["series"]:
+            row += (
+                f"      {series['model'][i]:5.3f}      "
+                f"{series['sim_mean'][i]:5.3f}±{series['sim_std'][i]:.3f}"
+            )
+        print(row)
+    print(f"  max |model - sim| = {max_model_sim_gap(result):.3f}")

@@ -1,0 +1,65 @@
+"""Fig. 3 — join-success probability vs maximum AP response time βmax.
+
+Model curves for f_i ∈ {0.10, 0.25, 0.40, 0.50}, with the w = 0 ms
+variants for f_i = 0.10 and 0.50 showing that removing the switching
+delay barely helps — channel schedule and DHCP response times dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.join_model import JoinModelParams, join_success_probability
+
+DEFAULT_BETA_MAXES = [0.5 + 0.5 * i for i in range(20)]  # 0.5 .. 10 s
+
+CURVES = (
+    {"fraction": 0.10, "switch_delay": 0.0, "label": "fi=.10 (w=0 ms)"},
+    {"fraction": 0.10, "switch_delay": 0.007, "label": "fi=.10"},
+    {"fraction": 0.25, "switch_delay": 0.007, "label": "fi=.25"},
+    {"fraction": 0.40, "switch_delay": 0.007, "label": "fi=.40"},
+    {"fraction": 0.50, "switch_delay": 0.007, "label": "fi=.50"},
+    {"fraction": 0.50, "switch_delay": 0.0, "label": "fi=.50 (w=0 ms)"},
+)
+
+
+def run(
+    beta_maxes: Optional[Sequence[float]] = None,
+    in_range_time: float = 4.0,
+) -> Dict:
+    beta_maxes = list(beta_maxes or DEFAULT_BETA_MAXES)
+    series = []
+    for curve in CURVES:
+        values: List[float] = []
+        for beta_max in beta_maxes:
+            params = JoinModelParams(
+                beta_max=max(beta_max, 0.5), switch_delay=curve["switch_delay"]
+            )
+            values.append(
+                join_success_probability(params, curve["fraction"], in_range_time)
+            )
+        series.append({"label": curve["label"], "fraction": curve["fraction"],
+                       "switch_delay": curve["switch_delay"], "values": values})
+    return {"experiment": "fig3", "beta_maxes": beta_maxes, "series": series}
+
+
+def switch_delay_effect(result: Dict) -> float:
+    """Max gap between a w=0 curve and its w=7 ms twin (should be small)."""
+    by_label = {s["label"]: s for s in result["series"]}
+    gap = 0.0
+    for fraction in (0.10, 0.50):
+        with_w = by_label[f"fi=.{int(fraction * 100):02d}"]["values"]
+        without_w = by_label[f"fi=.{int(fraction * 100):02d} (w=0 ms)"]["values"]
+        gap = max(gap, max(abs(a - b) for a, b in zip(with_w, without_w)))
+    return gap
+
+
+def print_report(result: Dict) -> None:
+    print("Fig. 3 — P(join success) vs beta_max")
+    labels = [s["label"] for s in result["series"]]
+    print("  bmax  " + "  ".join(f"{label:>16s}" for label in labels))
+    for i, beta_max in enumerate(result["beta_maxes"]):
+        row = f"  {beta_max:4.1f}  "
+        row += "  ".join(f"{s['values'][i]:16.3f}" for s in result["series"])
+        print(row)
+    print(f"  max effect of removing switch delay: {switch_delay_effect(result):.3f}")

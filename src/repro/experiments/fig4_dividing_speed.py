@@ -1,0 +1,79 @@
+"""Fig. 4 — optimal per-channel bandwidth vs node speed (Eqs. 8–10).
+
+Three offered-bandwidth splits between a joined channel 1 and a
+channel 2 that requires joining: (25%, 75%), (50%, 50%), (75%, 25%) of
+Bw = 11 Mbps, with βmax = 10 s and a 100 m Wi-Fi range. Each scenario
+exhibits a *dividing speed* above which the optimal schedule abandons
+channel 2 entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.model.join_model import JoinModelParams
+from repro.model.throughput_opt import (
+    ChannelScenario,
+    dividing_speed,
+    sweep_speeds,
+)
+
+PAPER_SPEEDS = (2.5, 3.3, 5.0, 6.6, 10.0, 20.0)
+
+SPLITS = (
+    (0.25, 0.75),
+    (0.50, 0.50),
+    (0.75, 0.25),
+)
+
+
+def run(
+    speeds: Optional[Sequence[float]] = None,
+    grid_step: float = 0.02,
+    beta_max: float = 10.0,
+) -> Dict:
+    speeds = list(speeds or PAPER_SPEEDS)
+    params = JoinModelParams(beta_max=beta_max)
+    scenarios = []
+    for joined, available in SPLITS:
+        one = ChannelScenario(joined_fraction=joined)
+        two = ChannelScenario(available_fraction=available)
+        schedules = sweep_speeds(one, two, speeds, params=params, grid_step=grid_step)
+        divide = dividing_speed(one, two, speeds, params=params, grid_step=grid_step)
+        scenarios.append(
+            {
+                "split": (joined, available),
+                "ch1_bps": [s.per_channel_bps[0] for s in schedules],
+                "ch2_bps": [s.per_channel_bps[1] for s in schedules],
+                "fractions": [s.fractions for s in schedules],
+                "dividing_speed": divide,
+            }
+        )
+    return {"experiment": "fig4", "speeds": speeds, "scenarios": scenarios}
+
+
+def print_report(result: Dict) -> None:
+    from repro.metrics.plots import line_plot
+
+    print("Fig. 4 — optimal per-channel bandwidth (kbps) vs speed")
+    for scenario in result["scenarios"]:
+        joined, available = scenario["split"]
+        print(f"  scenario joined={joined:.0%} / available={available:.0%}:")
+        for i, speed in enumerate(result["speeds"]):
+            print(
+                f"    v={speed:5.1f} m/s  ch1={scenario['ch1_bps'][i] / 1e3:7.0f}"
+                f"  ch2={scenario['ch2_bps'][i] / 1e3:7.0f}"
+            )
+        print(f"    dividing speed: {scenario['dividing_speed']} m/s")
+        print(
+            line_plot(
+                [
+                    ("ch1 bw", result["speeds"], [b / 1e3 for b in scenario["ch1_bps"]]),
+                    ("ch2 bw", result["speeds"], [b / 1e3 for b in scenario["ch2_bps"]]),
+                ],
+                x_label="speed (m/s)",
+                y_label="kbps",
+                width=48,
+                height=10,
+            )
+        )

@@ -1,0 +1,96 @@
+"""Fig. 9 — throughput micro-benchmark vs backhaul bandwidth.
+
+Static lab: large HTTP-style downloads through two APs whose backhauls
+are shaped to the same rate, swept from 0.5 to 5 Mbps. Configurations
+(the triplet is milliseconds on channels 1/6/11 per the paper):
+
+- one card, stock driver (one AP);
+- two physical cards, stock drivers (one AP each);
+- Spider (100, 0, 0): both APs on channel 1, no switching;
+- Spider (50, 0, 50): one AP on ch 1, one on ch 11, 50 ms each;
+- Spider (100, 0, 100): same split, 100 ms each.
+
+Expected shape: Spider on a single channel ≈ two physical cards ≈ 2×
+one card; the multi-channel schedules trade some of that for the
+ability to discover APs elsewhere, with the faster schedule better at
+high backhaul rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+
+DEFAULT_BACKHAULS = (0.5e6, 1e6, 2e6, 3e6, 4e6, 5e6)
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def _throughput(lab: LabScenario, driver, duration: float) -> float:
+    result = lab.run(driver, duration)
+    return result.throughput_kbytes_per_s
+
+
+def run_config(name: str, backhaul_bps: float, duration: float, seed: int) -> float:
+    """Average throughput (KB/s) for one configuration at one rate."""
+    lab = LabScenario(seed=seed)
+    if name == "one-card-stock":
+        lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
+        return _throughput(lab, lab.make_stock(), duration)
+    if name == "two-cards-stock":
+        lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
+        lab.add_lab_ap("apB", 11, backhaul_bps, index=2)
+        return _throughput(lab, lab.make_multicard(cards=2), duration)
+    if name == "spider-100-0-0":
+        lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
+        lab.add_lab_ap("apB", 1, backhaul_bps, index=2)
+        config = SpiderConfig(schedule={1: 1.0}, **REDUCED)
+        return _throughput(lab, lab.make_spider(config), duration)
+    if name == "spider-50-0-50":
+        lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
+        lab.add_lab_ap("apB", 11, backhaul_bps, index=2)
+        config = SpiderConfig(schedule={1: 0.5, 11: 0.5}, period=0.1, **REDUCED)
+        return _throughput(lab, lab.make_spider(config), duration)
+    if name == "spider-100-0-100":
+        lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
+        lab.add_lab_ap("apB", 11, backhaul_bps, index=2)
+        config = SpiderConfig(schedule={1: 0.5, 11: 0.5}, period=0.2, **REDUCED)
+        return _throughput(lab, lab.make_spider(config), duration)
+    raise ValueError(f"unknown configuration: {name}")
+
+
+CONFIG_NAMES = (
+    "one-card-stock",
+    "two-cards-stock",
+    "spider-100-0-0",
+    "spider-50-0-50",
+    "spider-100-0-100",
+)
+
+
+def run(
+    backhauls: Sequence[float] = DEFAULT_BACKHAULS,
+    duration: float = 45.0,
+    seed: int = 9,
+) -> Dict:
+    series = []
+    for name in CONFIG_NAMES:
+        values = [run_config(name, rate, duration, seed) for rate in backhauls]
+        series.append({"config": name, "throughput_kBps": values})
+    return {
+        "experiment": "fig9",
+        "backhauls_bps": list(backhauls),
+        "series": series,
+    }
+
+
+def print_report(result: Dict) -> None:
+    print("Fig. 9 — throughput (KB/s) vs backhaul bandwidth per AP")
+    header = "  backhaul(Mbps) " + "".join(f"{s['config']:>18s}" for s in result["series"])
+    print(header)
+    for i, rate in enumerate(result["backhauls_bps"]):
+        row = f"  {rate / 1e6:13.1f} "
+        row += "".join(f"{s['throughput_kBps'][i]:18.0f}" for s in result["series"])
+        print(row)

@@ -1,0 +1,168 @@
+"""Experiment registry and CLI.
+
+``spider-repro list`` shows every reproducible artifact;
+``spider-repro run fig2 tab2 …`` regenerates them (``all`` for the
+full evaluation). ``--fast`` shrinks durations/samples for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, Optional
+
+#: experiment id → (module path, fast-mode kwargs, description)
+REGISTRY: Dict[str, Dict] = {
+    "fig2": {
+        "module": "repro.experiments.fig2_join_model",
+        "fast": {"runs": 20, "trials_per_run": 50},
+        "description": "join model vs simulation (P(join) vs fraction)",
+    },
+    "fig3": {
+        "module": "repro.experiments.fig3_beta_sensitivity",
+        "fast": {},
+        "description": "P(join) vs beta_max for several fractions",
+    },
+    "fig4": {
+        "module": "repro.experiments.fig4_dividing_speed",
+        "fast": {"grid_step": 0.05},
+        "description": "optimal per-channel bandwidth vs speed; dividing speed",
+    },
+    "fig5": {
+        "module": "repro.experiments.fig5_association",
+        "fast": {"seeds": (1,), "duration": 120.0},
+        "description": "association-time CDF vs channel schedule",
+    },
+    "fig6": {
+        "module": "repro.experiments.fig6_dhcp",
+        "fast": {"seeds": (1,), "duration": 120.0},
+        "description": "assoc+DHCP join-time CDF vs schedule and timers",
+    },
+    "fig7": {
+        "module": "repro.experiments.fig7_tcp_fraction",
+        "fast": {"duration": 30.0},
+        "description": "TCP throughput vs % time on primary channel",
+    },
+    "fig8": {
+        "module": "repro.experiments.fig8_tcp_dwell",
+        "fast": {"duration": 30.0},
+        "description": "TCP throughput vs absolute per-channel dwell",
+    },
+    "tab1": {
+        "module": "repro.experiments.tab1_switch_latency",
+        "fast": {"duration": 10.0},
+        "description": "channel-switch latency vs #connected interfaces",
+    },
+    "fig9": {
+        "module": "repro.experiments.fig9_micro",
+        "fast": {"duration": 20.0, "backhauls": (1e6, 3e6, 5e6)},
+        "description": "throughput micro-benchmark vs backhaul bandwidth",
+    },
+    "tab2": {
+        "module": "repro.experiments.tab2_throughput_connectivity",
+        "fast": {"duration": 240.0},
+        "description": "avg throughput & connectivity per configuration",
+    },
+    "fig10": {
+        "module": "repro.experiments.fig10_cdfs",
+        "fast": {"duration": 240.0},
+        "description": "connection/disruption/instantaneous-bw CDFs",
+    },
+    "tab3": {
+        "module": "repro.experiments.tab3_dhcp_failures",
+        "fast": {"seeds": (1,), "duration": 150.0},
+        "description": "DHCP failure probabilities vs timeout configs",
+    },
+    "fig11": {
+        "module": "repro.experiments.fig11_join_timeout",
+        "fast": {"seeds": (1,), "duration": 120.0},
+        "description": "join-time CDF vs DHCP timeout",
+    },
+    "fig12": {
+        "module": "repro.experiments.fig12_join_policies",
+        "fast": {"seeds": (1,), "duration": 120.0},
+        "description": "join-delay CDF per scheduling policy",
+    },
+    "tab4": {
+        "module": "repro.experiments.tab4_channels",
+        "fast": {"duration": 240.0},
+        "description": "throughput/connectivity vs number of channels",
+    },
+    "fig13": {
+        "module": "repro.experiments.fig13_usability",
+        "fast": {"duration": 240.0},
+        "description": "connection lengths: mesh users vs Spider",
+    },
+    "fig14": {
+        "module": "repro.experiments.fig14_usability",
+        "fast": {"duration": 240.0},
+        "description": "disruption lengths: mesh users vs Spider",
+    },
+    "ablations": {
+        "module": "repro.experiments.ablations",
+        "fast": {"duration": 180.0},
+        "description": "design-choice ablations (selection, cache, PSM, slicing)",
+    },
+    "model-gap": {
+        "module": "repro.experiments.model_vs_system",
+        "fast": {"trials": 15},
+        "description": "extension: quantify how optimistic Eq. 7 is vs the full stack",
+    },
+    "contention": {
+        "module": "repro.experiments.contention",
+        "fast": {"populations": (1, 2, 4), "duration": 25.0},
+        "description": "extension: N concurrent Spider clients sharing APs",
+    },
+}
+
+
+def run_experiment(name: str, fast: bool = False, **overrides):
+    """Run one experiment by id; returns its result dict."""
+    entry = REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(f"unknown experiment: {name!r} (try 'list')")
+    module = importlib.import_module(entry["module"])
+    kwargs = dict(entry["fast"]) if fast else {}
+    kwargs.update(overrides)
+    return module.run(**kwargs)
+
+
+def print_experiment(name: str, result) -> None:
+    entry = REGISTRY[name]
+    module = importlib.import_module(entry["module"])
+    module.print_report(result)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="spider-repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=["list", "run"], help="what to do")
+    parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
+    parser.add_argument("--fast", action="store_true", help="shrunk smoke-run parameters")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, entry in REGISTRY.items():
+            print(f"  {name:10s} {entry['description']}")
+        return 0
+
+    names = list(args.experiments)
+    if not names:
+        parser.error("run requires experiment ids (or 'all')")
+    if names == ["all"]:
+        names = list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        print_experiment(name, result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Table 2 — average throughput and connectivity per configuration.
+
+The paper's headline system result, from vehicular runs in Amherst
+(channels 1/6/11, 28/33/34% of APs) plus a Boston-mix validation run:
+
+1. Channel 1, Multi-AP       — best throughput (121.5 KB/s, 35.5%)
+2. Channel 1, Single-AP      — (28.0 KB/s, 22.3%)
+3. 3 channels, Multi-AP      — best connectivity (28.8 KB/s, 44.6%)
+4. 3 channels, Single-AP     — (77.9 KB/s, 40.2%)
+5. Channel 6, Single-AP (Boston) — (90.7 KB/s, 36.4%)
+6. stock MadWiFi             — (35.9 KB/s, 18.0%)
+
+Multi-channel rows use a static 200 ms schedule on channels 1/6/11
+(D = 600 ms). The shapes that must reproduce: config 1 wins throughput
+(several × its single-AP counterpart), config 3 wins connectivity,
+stock is worst on connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import RunResult, ScenarioConfig, VehicularScenario
+from repro.world.deployment import BOSTON_CHANNEL_MIX, DeploymentConfig
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def _spider_configs() -> Dict[str, SpiderConfig]:
+    return {
+        "ch1-multi-ap": SpiderConfig.single_channel_multi_ap(channel=1, **REDUCED),
+        "ch1-single-ap": SpiderConfig.single_channel_single_ap(channel=1, **REDUCED),
+        "3ch-multi-ap": SpiderConfig.multi_channel_multi_ap(period=0.6, **REDUCED),
+        "3ch-single-ap": SpiderConfig.multi_channel_single_ap(period=0.6, **REDUCED),
+    }
+
+
+def run_config(
+    name: str,
+    seed: int = 3,
+    duration: float = 900.0,
+    scenario_config: Optional[ScenarioConfig] = None,
+) -> RunResult:
+    """One vehicular run of a named Table 2 configuration."""
+    scenario = VehicularScenario(scenario_config or ScenarioConfig(seed=seed))
+    if name == "stock-madwifi":
+        driver = scenario.make_stock()
+    elif name == "ch6-single-ap-boston":
+        boston = ScenarioConfig(
+            seed=seed,
+            deployment=DeploymentConfig(channel_mix=dict(BOSTON_CHANNEL_MIX)),
+        )
+        scenario = VehicularScenario(boston)
+        driver = scenario.make_spider(
+            SpiderConfig.single_channel_single_ap(channel=6, **REDUCED)
+        )
+    else:
+        configs = _spider_configs()
+        if name not in configs:
+            raise ValueError(f"unknown configuration: {name}")
+        driver = scenario.make_spider(configs[name])
+    return scenario.run(driver, duration)
+
+
+CONFIG_NAMES = (
+    "ch1-multi-ap",
+    "ch1-single-ap",
+    "3ch-multi-ap",
+    "3ch-single-ap",
+    "ch6-single-ap-boston",
+    "stock-madwifi",
+)
+
+PAPER_VALUES = {
+    "ch1-multi-ap": (121.5, 35.5),
+    "ch1-single-ap": (28.0, 22.3),
+    "3ch-multi-ap": (28.8, 44.6),
+    "3ch-single-ap": (77.9, 40.2),
+    "ch6-single-ap-boston": (90.7, 36.4),
+    "stock-madwifi": (35.9, 18.0),
+}
+
+
+def run(
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIG_NAMES,
+) -> Dict:
+    rows = []
+    for name in configs:
+        result = run_config(name, seed=seed, duration=duration)
+        paper_thr, paper_conn = PAPER_VALUES.get(name, (None, None))
+        rows.append(
+            {
+                "config": name,
+                "throughput_kBps": result.throughput_kbytes_per_s,
+                "connectivity_pct": result.connectivity * 100.0,
+                "paper_throughput_kBps": paper_thr,
+                "paper_connectivity_pct": paper_conn,
+                "result": result,
+            }
+        )
+    return {"experiment": "tab2", "rows": rows}
+
+
+def print_report(result: Dict) -> None:
+    print("Table 2 — average throughput and connectivity")
+    print("  config                 thr(KB/s)  conn(%)   [paper: thr, conn]")
+    for row in result["rows"]:
+        print(
+            f"  {row['config']:22s} {row['throughput_kBps']:8.1f}"
+            f"  {row['connectivity_pct']:6.1f}"
+            f"   [{row['paper_throughput_kBps']}, {row['paper_connectivity_pct']}]"
+        )

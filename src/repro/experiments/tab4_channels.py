@@ -1,0 +1,62 @@
+"""Table 4 — throughput/connectivity vs number of channels.
+
+Multi-AP Spider with equal static schedules over 1, 2, or 3 channels
+(200 ms slots). Paper values: 1 channel 121.5 KB/s / 35.5%; 2 channels
+25.1 KB/s / 35.8%; 3 channels 28.8 KB/s / 44.7%. Throughput is
+maximised on a single channel, connectivity with three.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import ScenarioConfig, VehicularScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+CASES: Tuple = (
+    ("1 channel", (1,)),
+    ("2 channels (equal)", (1, 6)),
+    ("3 channels (equal)", (1, 6, 11)),
+)
+
+PAPER = {
+    "1 channel": (121.5, 35.5),
+    "2 channels (equal)": (25.1, 35.8),
+    "3 channels (equal)": (28.8, 44.7),
+}
+
+
+def run(seed: int = 3, duration: float = 900.0, cases: Sequence = CASES) -> Dict:
+    rows = []
+    for label, channels in cases:
+        scenario = VehicularScenario(ScenarioConfig(seed=seed))
+        fraction = 1.0 / len(channels)
+        config = SpiderConfig(
+            schedule={ch: fraction for ch in channels},
+            period=0.2 * len(channels),
+            multi_ap=True,
+            **REDUCED,
+        )
+        result = scenario.run(scenario.make_spider(config), duration)
+        rows.append(
+            {
+                "label": label,
+                "channels": list(channels),
+                "throughput_kBps": result.throughput_kbytes_per_s,
+                "connectivity_pct": result.connectivity * 100.0,
+                "paper": PAPER[label],
+            }
+        )
+    return {"experiment": "tab4", "rows": rows}
+
+
+def print_report(result: Dict) -> None:
+    print("Table 4 — throughput/connectivity vs number of channels")
+    print("  schedule              thr(KB/s)  conn(%)   [paper]")
+    for row in result["rows"]:
+        print(
+            f"  {row['label']:20s} {row['throughput_kBps']:9.1f}"
+            f"  {row['connectivity_pct']:6.1f}   {row['paper']}"
+        )

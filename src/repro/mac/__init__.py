@@ -1,0 +1,36 @@
+"""802.11 MAC substrate.
+
+Implements the multi-phase join machinery whose interaction with
+channel switching is the subject of the paper: active scanning
+(probe request/response), the authentication + association handshake
+with per-message link-layer timeouts, AP-side power-save-mode (PSM)
+buffering, and beaconing.
+"""
+
+from repro.mac.frames import (
+    BROADCAST,
+    Frame,
+    FrameType,
+    beacon,
+    data_frame,
+    mgmt_frame,
+    null_data,
+    ps_poll,
+)
+from repro.mac.ap import AccessPoint
+from repro.mac.association import AssociationConfig, AssociationMachine, AssociationState
+
+__all__ = [
+    "AccessPoint",
+    "AssociationConfig",
+    "AssociationMachine",
+    "AssociationState",
+    "BROADCAST",
+    "Frame",
+    "FrameType",
+    "beacon",
+    "data_frame",
+    "mgmt_frame",
+    "null_data",
+    "ps_poll",
+]

@@ -1,0 +1,265 @@
+"""Access point MAC entity.
+
+One :class:`AccessPoint` owns a static radio on a fixed channel and
+implements the responder side of the join machinery plus the PSM
+buffering that virtualized Wi-Fi clients exploit:
+
+- periodic beacons;
+- probe / authentication / association responses, each after a
+  processing delay drawn from the AP's responsiveness profile;
+- per-client power-save buffers: a client that sends a null-data frame
+  with the PM bit set has its downlink traffic buffered until it sends
+  a PS-Poll or clears the bit (this is the "falsely claiming to enter
+  power-save mode" mechanism of Sec. 2);
+- uplink forwarding: payloads of data frames addressed to the AP are
+  handed to ``on_uplink`` (wired side: DHCP server, backhaul router).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Set
+
+from repro.mac import frames
+from repro.mac.frames import Frame, FrameType
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.world.mobility import StaticMobility
+from repro.world.geometry import Point
+
+
+@dataclass
+class ApConfig:
+    """Responsiveness profile of one AP.
+
+    ``beta_min``/``beta_max`` bound the AP-side processing delay of the
+    join steps, matching the analytical model's uniform join-response
+    distribution. The total is split across the handshake steps:
+    association is fast (a firmware path), DHCP dominates (a userspace
+    daemon on a consumer router), per the paper's measurements.
+    """
+
+    beacon_interval: float = 0.100
+    probe_delay: float = 0.005
+    auth_delay: float = 0.002
+    assoc_delay_min: float = 0.010
+    assoc_delay_max: float = 0.080
+    #: Consumer APs buffer only a few dozen frames per PS client; a
+    #: client away longer than buffer/backhaul-rate seconds loses the
+    #: excess — the mechanism that strangles long off-channel absences.
+    psm_buffer_frames: int = 50
+    client_timeout: float = 60.0
+
+
+class AccessPoint:
+    """An 802.11 AP with PSM buffering and pluggable uplink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        channel: int,
+        position: Point,
+        config: Optional[ApConfig] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.channel = channel
+        self.config = config or ApConfig()
+        self._rng = rng or random.Random(hash(name) & 0x7FFFFFFF)
+        self.radio = Radio(medium, StaticMobility(position), channel, name=name, address=name)
+        self.radio.on_receive = self._on_frame
+        self.radio.on_unicast_failure = self._on_tx_failure
+        self.authenticated: Set[str] = set()
+        self.associated: Set[str] = set()
+        self._psm_mode: Set[str] = set()
+        self._psm_buffers: Dict[str, Deque[Frame]] = {}
+        # Frames whose transmission failed (client raced us leaving the
+        # channel). They predate anything in the PSM buffer, so they are
+        # flushed first to preserve TCP ordering.
+        self._retry_buffers: Dict[str, Deque[Frame]] = {}
+        self._last_heard: Dict[str, float] = {}
+        self.on_uplink: Optional[Callable[[str, object], None]] = None
+        self.on_associated: Optional[Callable[[str], None]] = None
+        self.psm_drops = 0
+        self._beaconing = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin beaconing and client ageing."""
+        if self._beaconing:
+            return
+        self._beaconing = True
+        # Desynchronise beacons across APs sharing a channel.
+        initial = self._rng.uniform(0, self.config.beacon_interval)
+        self.sim.schedule(initial, self._beacon_tick)
+        self.sim.schedule(self.config.client_timeout, self._age_clients)
+
+    def _beacon_tick(self) -> None:
+        if not self._beaconing:
+            return
+        self.radio.transmit(frames.beacon(self.name, payload={"channel": self.channel}))
+        self.sim.schedule(self.config.beacon_interval, self._beacon_tick)
+
+    def stop(self) -> None:
+        self._beaconing = False
+
+    def _age_clients(self) -> None:
+        horizon = self.sim.now - self.config.client_timeout
+        for client in list(self.associated):
+            if self._last_heard.get(client, 0.0) < horizon:
+                self._drop_client(client)
+        self.sim.schedule(self.config.client_timeout / 2, self._age_clients)
+
+    def _drop_client(self, client: str) -> None:
+        self.associated.discard(client)
+        self.authenticated.discard(client)
+        self._psm_mode.discard(client)
+        self._psm_buffers.pop(client, None)
+        self._retry_buffers.pop(client, None)
+
+    # -- frame handling ---------------------------------------------------
+
+    def _on_tx_failure(self, frame: Frame) -> None:
+        """TX-status "failed" for a client that announced power-save.
+
+        A frame already in flight when the PSM null was processed races
+        the client's departure; real APs re-queue it into the power-save
+        buffer rather than dropping it. Clients that vanished *without*
+        announcing PSM get no such service — their frames are simply
+        lost after the retry limit, which is exactly what the fake-PSM
+        trick exists to avoid.
+        """
+        if frame.type != FrameType.DATA or frame.src != self.name:
+            return
+        if not frame.bufferable:
+            return  # join traffic: a missed response is simply lost
+        client = frame.dst
+        if client not in self.associated or client not in self._psm_mode:
+            return
+        buffer = self._retry_buffers.setdefault(client, deque())
+        if len(buffer) >= self.config.psm_buffer_frames:
+            self.psm_drops += 1
+            return
+        buffer.append(frame)
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.dst not in (self.name, frames.BROADCAST):
+            return
+        self._last_heard[frame.src] = self.sim.now
+        # Hearing from a client not in PSM means it is awake: release
+        # anything parked by PSM or TX-failure requeueing.
+        if frame.src not in self._psm_mode and (
+            self._psm_buffers.get(frame.src) or self._retry_buffers.get(frame.src)
+        ):
+            self._flush_psm(frame.src)
+        handler = {
+            FrameType.PROBE_REQUEST: self._on_probe,
+            FrameType.AUTH_REQUEST: self._on_auth,
+            FrameType.ASSOC_REQUEST: self._on_assoc,
+            FrameType.NULL_DATA: self._on_null,
+            FrameType.PS_POLL: self._on_ps_poll,
+            FrameType.DATA: self._on_data,
+            FrameType.DEAUTH: self._on_deauth,
+        }.get(frame.type)
+        if handler is not None:
+            handler(frame)
+
+    def _on_probe(self, frame: Frame) -> None:
+        response = frames.mgmt_frame(
+            FrameType.PROBE_RESPONSE, self.name, frame.src, payload={"channel": self.channel}
+        )
+        self.sim.schedule(self.config.probe_delay, self.radio.transmit, response)
+
+    def _on_auth(self, frame: Frame) -> None:
+        self.authenticated.add(frame.src)
+        response = frames.mgmt_frame(FrameType.AUTH_RESPONSE, self.name, frame.src)
+        self.sim.schedule(self.config.auth_delay, self.radio.transmit, response)
+
+    def _on_assoc(self, frame: Frame) -> None:
+        if frame.src not in self.authenticated:
+            return  # out-of-order association attempt; client must re-auth
+        delay = self._rng.uniform(self.config.assoc_delay_min, self.config.assoc_delay_max)
+        self.sim.schedule(delay, self._complete_assoc, frame.src)
+
+    def _complete_assoc(self, client: str) -> None:
+        self.associated.add(client)
+        self._psm_buffers.setdefault(client, deque())
+        self.radio.transmit(frames.mgmt_frame(FrameType.ASSOC_RESPONSE, self.name, client))
+        if self.on_associated is not None:
+            self.on_associated(client)
+
+    def _on_deauth(self, frame: Frame) -> None:
+        self._drop_client(frame.src)
+
+    def _on_null(self, frame: Frame) -> None:
+        if frame.src not in self.associated:
+            return
+        if frame.pm:
+            self._psm_mode.add(frame.src)
+        else:
+            self._psm_mode.discard(frame.src)
+            self._flush_psm(frame.src)
+
+    def _on_ps_poll(self, frame: Frame) -> None:
+        if frame.src in self.associated:
+            self._flush_psm(frame.src)
+
+    def _on_data(self, frame: Frame) -> None:
+        if frame.pm:
+            self._psm_mode.add(frame.src)
+        if self.on_uplink is not None and frame.payload is not None:
+            self.on_uplink(frame.src, frame.payload)
+
+    # -- downlink ----------------------------------------------------------
+
+    def client_in_psm(self, client: str) -> bool:
+        return client in self._psm_mode
+
+    def psm_backlog(self, client: str) -> int:
+        return len(self._psm_buffers.get(client, ()))
+
+    def send_unbuffered(self, client: str, payload: object, payload_bytes: int) -> None:
+        """Transmit immediately, bypassing PSM buffering.
+
+        Used for join traffic (DHCP responses): the exchange is driven
+        by the AP's own daemon and does not honour power-save state —
+        a response sent while the client is off-channel is lost. This
+        is the paper's core observation about why fractional channel
+        schedules break joins.
+        """
+        frame = frames.data_frame(self.name, client, payload, payload_bytes)
+        frame.bufferable = False
+        # DHCP replies go out like broadcasts on real APs (the client
+        # has no confirmed address yet): no link-layer ARQ either.
+        frame.needs_ack = False
+        self.radio.transmit(frame)
+
+    def send_to_client(self, client: str, payload: object, payload_bytes: int) -> None:
+        """Send (or PSM-buffer) a downlink payload to an associated client."""
+        frame = frames.data_frame(self.name, client, payload, payload_bytes)
+        if client in self._psm_mode or self._retry_buffers.get(client):
+            # Asleep — or awake with failed frames awaiting re-delivery,
+            # in which case overtaking them would reorder the stream.
+            buffer = self._psm_buffers.setdefault(client, deque())
+            if len(buffer) >= self.config.psm_buffer_frames:
+                self.psm_drops += 1
+                return
+            buffer.append(frame)
+            return
+        self.radio.transmit(frame)
+
+    def _flush_psm(self, client: str) -> None:
+        retry = self._retry_buffers.get(client)
+        if retry:
+            while retry:
+                self.radio.transmit(retry.popleft())
+        buffer = self._psm_buffers.get(client)
+        if buffer:
+            while buffer:
+                self.radio.transmit(buffer.popleft())

@@ -1,0 +1,171 @@
+"""Client-side association state machine.
+
+Implements the link-layer half of the multi-phase join the paper
+studies: AUTH request/response then ASSOC request/response, driven by a
+per-message retransmission timer (the "link-layer timeout": 1 s stock,
+100 ms in the reduced-timeout experiments, per Sec. 2.2.1 footnote 1 —
+a timer *per message*, not for the whole exchange).
+
+The machine only transmits while the card is tuned to the AP's channel;
+when the scheduler has the card elsewhere, the timer keeps running —
+which is exactly why fractional channel schedules hurt join success.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mac import frames
+from repro.mac.frames import Frame, FrameType
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+class AssociationState(enum.Enum):
+    IDLE = "idle"
+    AUTHENTICATING = "authenticating"
+    ASSOCIATING = "associating"
+    ASSOCIATED = "associated"
+    FAILED = "failed"
+
+
+@dataclass
+class AssociationConfig:
+    """Link-layer timers.
+
+    ``link_timeout`` is the per-message retransmission timer.
+    ``max_attempts`` bounds transmissions per message.
+    ``deadline`` bounds the whole exchange (None = unbounded; the driver
+    abandons machines for out-of-range APs instead).
+    """
+
+    link_timeout: float = 1.0
+    max_attempts: int = 10
+    deadline: Optional[float] = None
+
+
+@dataclass
+class JoinTiming:
+    """Timestamps collected for the evaluation's CDFs."""
+
+    started_at: float = 0.0
+    associated_at: Optional[float] = None
+
+    @property
+    def association_time(self) -> Optional[float]:
+        if self.associated_at is None:
+            return None
+        return self.associated_at - self.started_at
+
+
+class AssociationMachine:
+    """Drives one client's association with one AP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        client_address: str,
+        ap_name: str,
+        ap_channel: int,
+        config: Optional[AssociationConfig] = None,
+        on_result: Optional[Callable[["AssociationMachine", bool], None]] = None,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.client_address = client_address
+        self.ap_name = ap_name
+        self.ap_channel = ap_channel
+        self.config = config or AssociationConfig()
+        self.on_result = on_result
+        self.state = AssociationState.IDLE
+        self.timing = JoinTiming()
+        self.attempts = 0
+        self._timer = Timer(sim, self._on_timeout)
+
+    # -- control -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the exchange (idempotent once running)."""
+        if self.state not in (AssociationState.IDLE, AssociationState.FAILED):
+            return
+        self.state = AssociationState.AUTHENTICATING
+        self.timing = JoinTiming(started_at=self.sim.now)
+        self.attempts = 0
+        self._send_current()
+
+    def abort(self) -> None:
+        """Stop without reporting a result (driver gave up on the AP)."""
+        self._timer.cancel()
+        if self.state not in (AssociationState.ASSOCIATED,):
+            self.state = AssociationState.IDLE
+
+    @property
+    def associated(self) -> bool:
+        return self.state == AssociationState.ASSOCIATED
+
+    def _on_channel(self) -> bool:
+        return self.radio.channel == self.ap_channel and not self.radio.deaf
+
+    # -- sending -----------------------------------------------------------
+
+    def _send_current(self) -> None:
+        """Transmit the message for the current state, if on channel."""
+        if self.state == AssociationState.AUTHENTICATING:
+            frame_type = FrameType.AUTH_REQUEST
+        elif self.state == AssociationState.ASSOCIATING:
+            frame_type = FrameType.ASSOC_REQUEST
+        else:
+            return
+        if self._deadline_passed():
+            self._fail()
+            return
+        if self._on_channel():
+            self.attempts += 1
+            if self.attempts > self.config.max_attempts:
+                self._fail()
+                return
+            self.radio.transmit(
+                frames.mgmt_frame(frame_type, self.client_address, self.ap_name)
+            )
+        self._timer.start(self.config.link_timeout)
+
+    def _on_timeout(self) -> None:
+        if self.state in (AssociationState.ASSOCIATED, AssociationState.FAILED):
+            return
+        self._send_current()
+
+    def _deadline_passed(self) -> bool:
+        if self.config.deadline is None:
+            return False
+        return self.sim.now - self.timing.started_at > self.config.deadline
+
+    # -- receiving -----------------------------------------------------------
+
+    def handle_frame(self, frame: Frame) -> None:
+        """Feed a frame from this machine's AP (driver dispatches by src)."""
+        if frame.src != self.ap_name or frame.dst != self.client_address:
+            return
+        if frame.type == FrameType.AUTH_RESPONSE and self.state == AssociationState.AUTHENTICATING:
+            self.state = AssociationState.ASSOCIATING
+            self.attempts = 0
+            self._send_current()
+        elif frame.type == FrameType.ASSOC_RESPONSE and self.state == AssociationState.ASSOCIATING:
+            self.state = AssociationState.ASSOCIATED
+            self.timing.associated_at = self.sim.now
+            self._timer.cancel()
+            if self.on_result is not None:
+                self.on_result(self, True)
+        elif frame.type == FrameType.DEAUTH:
+            self._fail()
+
+    def _fail(self) -> None:
+        self._timer.cancel()
+        if self.state == AssociationState.FAILED:
+            return
+        self.state = AssociationState.FAILED
+        if self.on_result is not None:
+            self.on_result(self, False)

@@ -1,0 +1,33 @@
+"""Measurement machinery for the evaluation.
+
+The paper's four key metrics (Sec. 4.3) map onto
+:class:`~repro.metrics.collector.ThroughputRecorder`:
+
+1. average throughput — bytes delivered / experiment duration;
+2. average connectivity — % of seconds with nonzero delivery;
+3. disruption length — contiguous zero-delivery periods;
+4. instantaneous bandwidth — per-second delivery when connected.
+
+Join attempts (association + DHCP) are logged by
+:class:`~repro.metrics.collector.JoinLog` for the join-time CDFs and
+DHCP failure-rate tables.
+"""
+
+from repro.metrics.collector import JoinLog, JoinRecord, ThroughputRecorder
+from repro.metrics.energy import EnergyMeter, EnergyModel, EnergyReport
+from repro.metrics.stats import empirical_cdf, mean, median, percentile, stdev, summarize
+
+__all__ = [
+    "EnergyMeter",
+    "EnergyModel",
+    "EnergyReport",
+    "JoinLog",
+    "JoinRecord",
+    "ThroughputRecorder",
+    "empirical_cdf",
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,180 @@
+"""Collectors for the evaluation's metrics.
+
+``ThroughputRecorder`` bins delivered bytes into one-second buckets —
+the granularity at which the paper defines connectivity ("percentage
+of time that a non-zero amount of data was transferred") and
+instantaneous bandwidth ("data per second transferred when there is
+connectivity").
+
+``JoinLog`` records every join attempt's timeline (association start,
+association complete, DHCP bound / failed) for the CDFs of Figs. 5, 6,
+11, 12 and the failure rates of Table 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class ThroughputRecorder:
+    """Per-second delivery accounting for one experiment run."""
+
+    def __init__(self, sim: Simulator, bucket_s: float = 1.0):
+        self.sim = sim
+        self.bucket_s = bucket_s
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self.total_bytes = 0
+        self.started_at = sim.now
+
+    def record(self, nbytes: int) -> None:
+        """Hook for TCP receivers' ``on_deliver``."""
+        bucket = int(self.sim.now / self.bucket_s)
+        self._buckets[bucket] += nbytes
+        self.total_bytes += nbytes
+
+    # -- summary metrics ------------------------------------------------
+
+    def duration(self) -> float:
+        return self.sim.now - self.started_at
+
+    def average_throughput_bps(self) -> float:
+        """Metric 1: bytes/s × 8 over the whole experiment."""
+        elapsed = self.duration()
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / elapsed
+
+    def average_throughput_kbytes_per_s(self) -> float:
+        elapsed = self.duration()
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes / 1000.0 / elapsed
+
+    def _bucket_range(self) -> range:
+        first = int(self.started_at / self.bucket_s)
+        last = int(self.sim.now / self.bucket_s)
+        return range(first, last)
+
+    def connectivity_fraction(self) -> float:
+        """Metric 2: fraction of buckets with nonzero delivery."""
+        buckets = self._bucket_range()
+        if len(buckets) == 0:
+            return 0.0
+        connected = sum(1 for b in buckets if self._buckets.get(b, 0) > 0)
+        return connected / len(buckets)
+
+    def _episodes(self, connected: bool) -> List[float]:
+        """Contiguous runs of (non)zero buckets, as durations."""
+        episodes: List[float] = []
+        run = 0
+        for bucket in self._bucket_range():
+            active = self._buckets.get(bucket, 0) > 0
+            if active == connected:
+                run += 1
+            elif run:
+                episodes.append(run * self.bucket_s)
+                run = 0
+        if run:
+            episodes.append(run * self.bucket_s)
+        return episodes
+
+    def connection_durations(self) -> List[float]:
+        """Metric: contiguous connectivity periods (Fig. 10a)."""
+        return self._episodes(connected=True)
+
+    def disruption_durations(self) -> List[float]:
+        """Metric 3: contiguous zero-connectivity periods (Fig. 10b)."""
+        return self._episodes(connected=False)
+
+    def instantaneous_bandwidths_kbytes(self) -> List[float]:
+        """Metric 4: per-bucket KB/s over connected buckets (Fig. 10c)."""
+        return [
+            self._buckets[b] / 1000.0 / self.bucket_s
+            for b in self._bucket_range()
+            if self._buckets.get(b, 0) > 0
+        ]
+
+
+@dataclass
+class JoinRecord:
+    """Timeline of one join attempt against one AP."""
+
+    ap: str
+    channel: int
+    started_at: float
+    associated_at: Optional[float] = None
+    bound_at: Optional[float] = None
+    failed_at: Optional[float] = None
+    dhcp_failures: int = 0
+    #: message-level accounting (Table 3's "Failed dhcp" metric)
+    dhcp_transmissions: int = 0
+    dhcp_message_timeouts: int = 0
+    used_cached_lease: bool = False
+
+    @property
+    def association_time(self) -> Optional[float]:
+        if self.associated_at is None:
+            return None
+        return self.associated_at - self.started_at
+
+    @property
+    def join_time(self) -> Optional[float]:
+        """Association + DHCP, the paper's "time to join"."""
+        if self.bound_at is None:
+            return None
+        return self.bound_at - self.started_at
+
+    @property
+    def succeeded(self) -> bool:
+        return self.bound_at is not None
+
+
+class JoinLog:
+    """All join attempts of a run."""
+
+    def __init__(self) -> None:
+        self.records: List[JoinRecord] = []
+
+    def open_record(self, ap: str, channel: int, now: float) -> JoinRecord:
+        record = JoinRecord(ap=ap, channel=channel, started_at=now)
+        self.records.append(record)
+        return record
+
+    # -- derived series ------------------------------------------------
+
+    def association_times(self) -> List[float]:
+        return [r.association_time for r in self.records if r.association_time is not None]
+
+    def join_times(self) -> List[float]:
+        return [r.join_time for r in self.records if r.join_time is not None]
+
+    def attempts(self) -> int:
+        return len(self.records)
+
+    def successes(self) -> int:
+        return sum(1 for r in self.records if r.succeeded)
+
+    def dhcp_attempts(self) -> int:
+        """Attempts that reached the DHCP stage (associated first)."""
+        return sum(1 for r in self.records if r.associated_at is not None)
+
+    def dhcp_failure_rate(self) -> float:
+        """Fraction of DHCP attempt windows that expired unfulfilled."""
+        total_failures = sum(r.dhcp_failures for r in self.records)
+        total = total_failures + self.successes()
+        if total == 0:
+            return 0.0
+        return total_failures / total
+
+    def dhcp_message_timeout_rate(self) -> float:
+        """Fraction of transmitted DHCP requests that got no response
+        within the retry timer — Table 3's "Failed dhcp" metric."""
+        transmissions = sum(r.dhcp_transmissions for r in self.records)
+        timeouts = sum(r.dhcp_message_timeouts for r in self.records)
+        if transmissions == 0:
+            return 0.0
+        return timeouts / transmissions

@@ -1,0 +1,84 @@
+"""Radio energy model (the paper's Sec. 4.8 future work).
+
+"Investigating the effect of multi-AP systems on energy consumption of
+constrained devices ... require[s] future work." This module provides
+the standard state-based accounting: the radio draws state-dependent
+power (transmit / receive / idle-listening / hardware reset), and the
+meter integrates airtime counters the :class:`~repro.phy.radio.Radio`
+already collects. Default powers follow the much-cited Atheros/802.11
+measurements (~1.3 W tx, ~0.95 W rx, ~0.85 W idle listen).
+
+Note the well-known Wi-Fi reality this reproduces: *idle listening
+dominates*. A driver that transfers more data per unit time (Spider's
+single-channel multi-AP mode) therefore spends fewer joules per byte,
+even though its radio is busier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.radio import Radio
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """State powers in watts."""
+
+    tx_w: float = 1.30
+    rx_w: float = 0.95
+    idle_w: float = 0.85
+    reset_w: float = 0.30  # card is quiescent during a hardware reset
+
+
+@dataclass
+class EnergyReport:
+    """Joules spent per state over a measurement window."""
+
+    elapsed: float
+    tx_j: float
+    rx_j: float
+    idle_j: float
+    reset_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.tx_j + self.rx_j + self.idle_j + self.reset_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_j / self.elapsed
+
+    def joules_per_megabyte(self, bytes_delivered: int) -> float:
+        """Energy efficiency: J/MB of useful data (inf if none)."""
+        if bytes_delivered <= 0:
+            return float("inf")
+        return self.total_j / (bytes_delivered / 1e6)
+
+
+class EnergyMeter:
+    """Snapshots a radio's airtime counters and integrates power."""
+
+    def __init__(self, radio: Radio, model: EnergyModel = EnergyModel()):
+        self.radio = radio
+        self.model = model
+        self._start_time = radio.sim.now
+        self._start_tx = radio.tx_airtime
+        self._start_rx = radio.rx_airtime
+        self._start_deaf = radio.deaf_time
+
+    def report(self) -> EnergyReport:
+        elapsed = self.radio.sim.now - self._start_time
+        tx = self.radio.tx_airtime - self._start_tx
+        rx = self.radio.rx_airtime - self._start_rx
+        reset = self.radio.deaf_time - self._start_deaf
+        idle = max(0.0, elapsed - tx - rx - reset)
+        return EnergyReport(
+            elapsed=elapsed,
+            tx_j=tx * self.model.tx_w,
+            rx_j=rx * self.model.rx_w,
+            idle_j=idle * self.model.idle_w,
+            reset_j=reset * self.model.reset_w,
+        )

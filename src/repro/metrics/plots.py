@@ -1,0 +1,108 @@
+"""Terminal plotting for experiment reports.
+
+The paper's artifacts are mostly CDFs and line plots; these helpers
+render them as ASCII so ``spider-repro run`` reproduces the *figures*,
+not just summary rows, without a plotting dependency.
+
+All functions return a string (callers print it), making them trivially
+testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def line_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more (label, xs, ys) series on shared axes."""
+    populated = [(label, xs, ys) for label, xs, ys in series if len(xs)]
+    if not populated:
+        return "(no data)"
+    all_x = [x for _l, xs, _ys in populated for x in xs]
+    all_y = [y for _l, _xs, ys in populated for y in ys]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low > 0 and y_low < y_high * 0.25:
+        y_low = 0.0  # anchor near-zero axes at zero for readability
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(populated):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = glyph
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            margin = f"{y_high:>10.3g} |"
+        elif row_index == height - 1:
+            margin = f"{y_low:>10.3g} |"
+        else:
+            margin = " " * 10 + " |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = f"{x_low:<12.3g}{x_label:^{max(0, width - 24)}}{x_high:>12.3g}"
+    lines.append(" " * 12 + x_axis)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {label}"
+        for i, (label, _xs, _ys) in enumerate(populated)
+    )
+    if y_label:
+        lines.insert(0, f"  [{y_label}]")
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    x_max: Optional[float] = None,
+) -> str:
+    """Plot empirical CDFs of one or more (label, samples) series."""
+    prepared = []
+    for label, samples in series:
+        values = sorted(samples)
+        if x_max is not None:
+            values = [v for v in values if v <= x_max]
+        if not values:
+            continue
+        n = len(sorted(samples))
+        ys = [(i + 1) / n for i in range(len(values))]
+        prepared.append((label, values, ys))
+    return line_plot(prepared, width=width, height=height,
+                     x_label=x_label, y_label="cumulative fraction")
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the maximum value."""
+    if not rows:
+        return "(no data)"
+    peak = max(value for _label, value in rows) or 1.0
+    label_width = max(len(label) for label, _v in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1 if value > 0 else 0, int(round(value / peak * width)))
+        lines.append(f"  {label:<{label_width}} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Small statistics helpers (no numpy dependency at the core)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two values."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Return (xs, ys) of the empirical CDF, ys in (0, 1]."""
+    if not values:
+        return [], []
+    xs = sorted(values)
+    n = len(xs)
+    ys = [(i + 1) / n for i in range(n)]
+    return xs, ys
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of values ≤ x."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / median / p90 / min / max in one dict."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "std": 0.0, "median": 0.0,
+                "p90": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "std": stdev(values),
+        "median": median(values),
+        "p90": percentile(values, 90),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,38 @@
+"""Analytical framework (Sec. 2.1 of the paper).
+
+- :mod:`repro.model.join_model` — the closed-form join-success
+  probability, Eqs. 1–7.
+- :mod:`repro.model.join_simulation` — the Monte-Carlo simulation used
+  to corroborate the derivation (Fig. 2).
+- :mod:`repro.model.throughput_opt` — the throughput-maximisation
+  framework, Eqs. 8–10, and the *dividing speed* (Fig. 4).
+"""
+
+from repro.model.join_model import (
+    JoinModelParams,
+    expected_join_time,
+    expected_join_time_unbounded,
+    join_success_probability,
+    requests_per_round,
+)
+from repro.model.join_simulation import JoinSimulationResult, simulate_join_probability
+from repro.model.throughput_opt import (
+    ChannelScenario,
+    OptimalSchedule,
+    dividing_speed,
+    optimize_two_channels,
+)
+
+__all__ = [
+    "ChannelScenario",
+    "JoinModelParams",
+    "JoinSimulationResult",
+    "OptimalSchedule",
+    "dividing_speed",
+    "expected_join_time",
+    "expected_join_time_unbounded",
+    "join_success_probability",
+    "optimize_two_channels",
+    "requests_per_round",
+    "simulate_join_probability",
+]

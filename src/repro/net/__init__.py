@@ -1,0 +1,44 @@
+"""Network substrate: DHCP, packet-level TCP, backhaul shaping, routing.
+
+These are the layers above the MAC whose timers interact with channel
+scheduling: DHCP's per-message retransmit / attempt-window / idle
+timers (the paper's central overhead) and TCP's RTO (the reason
+off-channel absence strangles throughput, Figs. 7–8).
+"""
+
+from repro.net.dhcp import (
+    DhcpClient,
+    DhcpClientConfig,
+    DhcpMessage,
+    DhcpMessageType,
+    DhcpServer,
+    DhcpServerConfig,
+    Lease,
+)
+from repro.net.shaper import TokenBucketShaper
+from repro.net.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender
+from repro.net.backhaul import ApRouter, WiredBackhaul
+from repro.net.traffic import BulkDownload
+from repro.net.udp import UdpDatagram, VoipQuality, VoipStream, estimate_mos
+
+__all__ = [
+    "ApRouter",
+    "BulkDownload",
+    "DhcpClient",
+    "DhcpClientConfig",
+    "DhcpMessage",
+    "DhcpMessageType",
+    "DhcpServer",
+    "DhcpServerConfig",
+    "Lease",
+    "TcpConfig",
+    "TcpReceiver",
+    "TcpSegment",
+    "TcpSender",
+    "TokenBucketShaper",
+    "UdpDatagram",
+    "VoipQuality",
+    "VoipStream",
+    "WiredBackhaul",
+    "estimate_mos",
+]

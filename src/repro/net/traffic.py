@@ -1,0 +1,75 @@
+"""Traffic applications.
+
+``BulkDownload`` is the paper's workload: a large HTTP-style download
+from a wired content server, one TCP flow per joined AP ("downloading
+large files over HTTP", Sec. 4.2). It wires a :class:`TcpSender` on the
+wired side to a :class:`TcpReceiver` on the mobile client through an
+AP's router.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.backhaul import ApRouter
+from repro.net.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender, next_flow_id
+from repro.sim.engine import Simulator
+
+
+class BulkDownload:
+    """An infinite download through one AP to one client interface.
+
+    ``send_uplink`` is provided by the owning driver/interface: it
+    queues an ACK segment for transmission to the AP (possibly via a
+    per-channel queue) and returns True if it could be sent
+    immediately.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: ApRouter,
+        client_address: str,
+        send_uplink: Callable[[TcpSegment], bool],
+        tcp_config: Optional[TcpConfig] = None,
+        on_deliver: Optional[Callable[[int], None]] = None,
+    ):
+        self.sim = sim
+        self.router = router
+        self.flow_id = next_flow_id()
+        self.sender = TcpSender(
+            sim,
+            self.flow_id,
+            send=lambda seg: router.send_down(client_address, seg),
+            config=tcp_config,
+        )
+        def _send_ack(segment: TcpSegment) -> None:
+            send_uplink(segment)
+
+        self.receiver = TcpReceiver(
+            sim,
+            self.flow_id,
+            send_ack=_send_ack,
+            on_deliver=on_deliver,
+        )
+        # ACKs arriving at the AP are routed back to the sender.
+        router.register_flow(self.flow_id, self.sender.on_ack)
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.receiver.bytes_delivered
+
+    def start(self) -> None:
+        self.started_at = self.sim.now
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.stopped_at = self.sim.now
+        self.sender.stop()
+        self.router.unregister_flow(self.flow_id)
+
+    def on_downlink_segment(self, segment: TcpSegment) -> None:
+        """Feed a data segment that arrived at the client interface."""
+        self.receiver.on_segment(segment)

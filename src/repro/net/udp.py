@@ -1,0 +1,154 @@
+"""UDP datagrams and a VoIP-like constant-bit-rate application.
+
+Sec. 4.3 motivates the disruption-length metric with "interactive
+applications such as VoIP or web search". This module makes that
+concrete: a bidirectional G.711-style CBR stream (one 200-byte
+datagram every 20 ms each way, no retransmission) plus the standard
+quality summary — loss, one-way delay percentiles, and an E-model-ish
+MOS estimate — so experiments can ask "would a call have survived this
+drive?".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.metrics.stats import mean, percentile
+from repro.sim.engine import Simulator
+
+_stream_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """One real-time datagram."""
+
+    stream_id: int
+    seq: int
+    sent_at: float
+    payload_bytes: int = 200
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + 28  # IP + UDP headers
+
+
+@dataclass
+class VoipQuality:
+    """Call-quality summary over a measurement window."""
+
+    sent: int
+    received: int
+    loss_fraction: float
+    mean_delay: float
+    p95_delay: float
+    mos: float
+
+    @property
+    def usable(self) -> bool:
+        """Conventional bar for a usable call: MOS ≥ 3.1."""
+        return self.mos >= 3.1
+
+
+def estimate_mos(loss_fraction: float, mean_delay_s: float) -> float:
+    """Simplified E-model: R = 93.2 − delay impairment − loss impairment.
+
+    Uses the common linearised impairments (Cole & Rosenbluth): delay
+    counts fully past 177.3 ms; each percent of loss costs ~2.5 R.
+    """
+    delay_ms = mean_delay_s * 1000.0
+    delay_impairment = 0.024 * delay_ms
+    if delay_ms > 177.3:
+        delay_impairment += 0.11 * (delay_ms - 177.3)
+    loss_impairment = 2.5 * (loss_fraction * 100.0)
+    r_factor = max(0.0, min(93.2 - delay_impairment - loss_impairment, 100.0))
+    if r_factor <= 0:
+        return 1.0
+    mos = 1.0 + 0.035 * r_factor + 7e-6 * r_factor * (r_factor - 60) * (100 - r_factor)
+    return max(1.0, min(mos, 4.5))
+
+
+class VoipStream:
+    """A downlink CBR stream from the wired side to the mobile client.
+
+    ``send`` is injected (typically ``router.send_down`` wrapped for
+    the client address); the client feeds received datagrams back via
+    :meth:`on_datagram`. No retransmission, no reordering buffer —
+    late/lost is lost, exactly like a real-time stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[UdpDatagram], None],
+        interval: float = 0.020,
+        payload_bytes: int = 200,
+    ):
+        self.sim = sim
+        self.stream_id = next(_stream_ids)
+        self._send = send
+        self.interval = interval
+        self.payload_bytes = payload_bytes
+        self.sent = 0
+        self.delays: List[float] = []
+        self._received_seqs: set = set()
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._send(
+            UdpDatagram(self.stream_id, self.sent, self.sim.now, self.payload_bytes)
+        )
+        self.sent += 1
+        self.sim.schedule(self.interval, self._tick)
+
+    def on_datagram(self, datagram: UdpDatagram) -> None:
+        """Client-side arrival."""
+        if datagram.stream_id != self.stream_id:
+            return
+        if datagram.seq in self._received_seqs:
+            return  # duplicate (link-layer ARQ artefact)
+        self._received_seqs.add(datagram.seq)
+        self.delays.append(self.sim.now - datagram.sent_at)
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def received(self) -> int:
+        return len(self._received_seqs)
+
+    def quality(self, trim_tail: bool = False) -> VoipQuality:
+        """Call-quality summary.
+
+        With ``trim_tail`` the window ends at the last datagram that
+        made it through — the call is treated as *dropped* there, so
+        the silent tail (client drove out of range, driver hasn't torn
+        down yet) doesn't count as loss. That matches how call quality
+        is reported in practice: quality until the drop.
+        """
+        effective_sent = self.sent
+        if trim_tail and self._received_seqs:
+            effective_sent = max(self._received_seqs) + 1
+        loss = 1.0 - (self.received / effective_sent) if effective_sent else 0.0
+        loss = max(0.0, min(1.0, loss))
+        mean_delay = mean(self.delays)
+        return VoipQuality(
+            sent=effective_sent,
+            received=self.received,
+            loss_fraction=loss,
+            mean_delay=mean_delay,
+            p95_delay=percentile(self.delays, 95),
+            mos=estimate_mos(loss, mean_delay),
+        )

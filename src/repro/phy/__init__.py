@@ -1,0 +1,28 @@
+"""PHY substrate: channels, propagation, radios, and the shared medium.
+
+Stands in for the paper's Atheros 802.11abg card. The pieces the
+paper's conclusions rest on — per-channel broadcast domains, frame
+airtimes derived from bit-rates, hardware-reset channel-switch latency,
+and distance-dependent loss — are modelled explicitly.
+"""
+
+from repro.phy.channels import (
+    DEFAULT_DATA_RATE_BPS,
+    MANAGEMENT_RATE_BPS,
+    ORTHOGONAL_CHANNELS,
+    channel_frequency_mhz,
+    channels_interfere,
+)
+from repro.phy.propagation import PropagationModel
+from repro.phy.radio import Medium, Radio
+
+__all__ = [
+    "DEFAULT_DATA_RATE_BPS",
+    "MANAGEMENT_RATE_BPS",
+    "Medium",
+    "ORTHOGONAL_CHANNELS",
+    "PropagationModel",
+    "Radio",
+    "channel_frequency_mhz",
+    "channels_interfere",
+]

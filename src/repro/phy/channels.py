@@ -1,0 +1,63 @@
+"""802.11b/g channel plan and rate constants.
+
+The paper's experiments run on channels 1, 6, and 11 — the three
+orthogonal channels in the 2.4 GHz band, where the measured AP
+population overwhelmingly sits (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The three non-overlapping 2.4 GHz channels.
+ORTHOGONAL_CHANNELS: Tuple[int, int, int] = (1, 6, 11)
+
+#: Peak data rate for data frames. The analytical model uses the
+#: 802.11b Bw = 11 Mbps; the testbed's organic APs were largely
+#: 802.11g ("802.11G is now widely available", Sec. 4.4), so the
+#: system simulation peaks at a conservative g rate.
+DEFAULT_DATA_RATE_BPS: float = 24e6
+
+#: Basic rate used for management frames (probe/auth/assoc/beacons).
+MANAGEMENT_RATE_BPS: float = 1e6
+
+#: Auto-rate ladder: (fraction of range, data rate). Links degrade
+#: with distance exactly as SNR-driven rate control does on real
+#: hardware — the coverage fringe runs at b rates.
+RATE_LADDER = (
+    (0.35, 24e6),
+    (0.50, 11e6),
+    (0.65, 5.5e6),
+    (0.80, 2e6),
+    (1.00, 1e6),
+)
+
+_VALID_CHANNELS = range(1, 15)
+
+
+def channel_frequency_mhz(channel: int) -> float:
+    """Centre frequency of a 2.4 GHz channel (channel 14 is special)."""
+    if channel not in _VALID_CHANNELS:
+        raise ValueError(f"invalid 2.4 GHz channel: {channel}")
+    if channel == 14:
+        return 2484.0
+    return 2407.0 + 5.0 * channel
+
+def channels_interfere(a: int, b: int) -> bool:
+    """True if two 2.4 GHz channels overlap spectrally.
+
+    Channels whose numbers differ by fewer than 5 overlap (22 MHz-wide
+    masks on a 5 MHz grid). Channels 1/6/11 are mutually orthogonal.
+    """
+    if a not in _VALID_CHANNELS or b not in _VALID_CHANNELS:
+        raise ValueError(f"invalid channel pair: {a}, {b}")
+    return abs(a - b) < 5
+
+
+def frame_airtime(size_bytes: int, rate_bps: float, preamble_s: float = 192e-6) -> float:
+    """Time on air for a frame: PHY preamble plus payload at ``rate_bps``."""
+    if size_bytes < 0:
+        raise ValueError("negative frame size")
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive")
+    return preamble_s + size_bytes * 8.0 / rate_bps

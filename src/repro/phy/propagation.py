@@ -1,0 +1,52 @@
+"""Propagation and frame-loss model.
+
+The analytical model assumes a circular Wi-Fi range (100 m in the
+paper) and a flat message-loss probability ``h`` (10%). The simulated
+medium keeps those two knobs and adds an edge roll-off: loss rises
+smoothly from the floor towards 1 near the edge of range, which is what
+produces the realistic "lossy fringe" that vehicular measurement
+studies (Cabernet, CarTel) report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PropagationModel:
+    """Distance → frame-loss probability.
+
+    ``edge_start`` is the fraction of range where the fringe begins;
+    inside it the loss is the flat floor ``base_loss``.
+    """
+
+    range_m: float = 100.0
+    base_loss: float = 0.10
+    edge_start: float = 0.70
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.base_loss < 1:
+            raise ValueError("base_loss must be in [0, 1)")
+        if not 0 < self.edge_start <= 1:
+            raise ValueError("edge_start must be in (0, 1]")
+        if self.range_m <= 0:
+            raise ValueError("range must be positive")
+
+    def in_range(self, dist_m: float) -> bool:
+        return dist_m <= self.range_m
+
+    def loss_probability(self, dist_m: float) -> float:
+        """Per-frame loss probability at ``dist_m`` metres.
+
+        Beyond range the frame is always lost. Within the fringe the
+        loss interpolates quadratically from the floor to 1.
+        """
+        if dist_m > self.range_m:
+            return 1.0
+        fringe_start = self.edge_start * self.range_m
+        if dist_m <= fringe_start:
+            return self.base_loss
+        span = self.range_m - fringe_start
+        fraction = (dist_m - fringe_start) / span
+        return self.base_loss + (1.0 - self.base_loss) * fraction * fraction

@@ -1,0 +1,287 @@
+"""Radio hardware and the shared wireless medium.
+
+``Medium`` is the broadcast domain: it owns all radios, serialises
+transmissions per channel (a first-order stand-in for CSMA/CA — the
+channel is a shared 11 Mbps pipe), and applies the propagation model's
+per-receiver loss draw at delivery time.
+
+``Radio`` models one half-duplex 802.11 card: it is tuned to exactly
+one channel, can be made *deaf* for the duration of a hardware reset
+(the Spider driver uses this to model channel-switch latency), and
+hands received frames to whatever MAC entity registered ``on_receive``.
+
+Simplifications (documented per DESIGN.md §6): no collision model —
+per-channel FIFO serialisation approximates medium sharing; frames on
+spectrally overlapping but unequal channels are not delivered (the
+evaluation only uses the orthogonal channels 1/6/11, where this is
+exact).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.phy.channels import (
+    DEFAULT_DATA_RATE_BPS,
+    RATE_LADDER,
+    channels_interfere,
+    frame_airtime,
+)
+from repro.phy.propagation import PropagationModel
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.world.geometry import distance
+from repro.world.mobility import MobilityModel
+
+
+class Radio:
+    """One 802.11 card attached to a (possibly mobile) node."""
+
+    def __init__(
+        self,
+        medium: "Medium",
+        mobility: MobilityModel,
+        channel: int,
+        name: str = "radio",
+        address: Optional[str] = None,
+    ):
+        self.medium = medium
+        self.mobility = mobility
+        self.channel = channel
+        self.name = name
+        self.address = address if address is not None else name
+        self.on_receive: Optional[Callable[[Any], None]] = None
+        self.deaf_until: float = 0.0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_lost = 0
+        #: Accumulated airtime (s) spent transmitting / receiving /
+        #: deaf in hardware resets — the inputs to the energy model.
+        self.tx_airtime = 0.0
+        self.rx_airtime = 0.0
+        self.deaf_time = 0.0
+        #: RSSI (dBm) of the most recently delivered frame; handlers may
+        #: read this synchronously inside ``on_receive``, as a real
+        #: driver reads the radiotap header.
+        self.last_rssi: float = -100.0
+        #: Invoked when a unicast frame exhausts its ARQ attempts (the
+        #: hardware's TX-status "failed" report); APs use this to move
+        #: the frame into the destination's power-save buffer.
+        self.on_unicast_failure: Optional[Callable[[Any], None]] = None
+        medium.register(self)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.medium.sim
+
+    def position(self):
+        return self.mobility.position(self.sim.now)
+
+    @property
+    def deaf(self) -> bool:
+        """True while the card cannot send or receive (hardware reset)."""
+        return self.sim.now < self.deaf_until
+
+    def set_channel(self, channel: int) -> None:
+        """Retune instantly. Drivers model reset latency via go_deaf()."""
+        self.channel = channel
+
+    def go_deaf(self, duration: float) -> None:
+        """Mark the card unable to send/receive for ``duration`` seconds."""
+        new_until = self.sim.now + duration
+        added = new_until - max(self.sim.now, self.deaf_until)
+        if added > 0:
+            self.deaf_time += added
+        self.deaf_until = max(self.deaf_until, new_until)
+
+    def transmit(self, frame: Any) -> bool:
+        """Queue a frame for transmission on the current channel.
+
+        Returns False (and drops the frame) if the card is deaf. The
+        frame must expose ``size_bytes`` and ``rate_bps``. Unicast
+        data frames get their rate re-picked here by the auto-rate
+        controller — rates are a property of the link at transmit time,
+        not of when the frame was queued.
+        """
+        if self.deaf:
+            return False
+        if getattr(frame, "bufferable", False) or getattr(frame, "needs_ack", False):
+            from repro.mac.frames import FrameType  # local: avoid cycle
+
+            if getattr(frame, "type", None) == FrameType.DATA and not frame.broadcast:
+                frame.rate_bps = self.medium.suggest_rate(self, frame.dst)
+        self.frames_sent += 1
+        self.tx_airtime += self.medium.airtime(frame)
+        self.medium.broadcast(self, frame)
+        return True
+
+    def _deliver(self, frame: Any, rssi: float = -100.0) -> None:
+        self.frames_received += 1
+        self.rx_airtime += self.medium.airtime(frame)
+        self.last_rssi = rssi
+        if self.on_receive is not None:
+            self.on_receive(frame)
+
+
+class Medium:
+    """The shared wireless broadcast domain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[PropagationModel] = None,
+        streams: Optional[RandomStreams] = None,
+        per_frame_overhead_s: float = 150e-6,
+        max_arq_attempts: int = 4,
+        adjacent_channel_loss: float = 0.25,
+    ):
+        self.sim = sim
+        self.propagation = propagation or PropagationModel()
+        self._rng = (streams or RandomStreams()).get("phy")
+        self.per_frame_overhead_s = per_frame_overhead_s
+        self.max_arq_attempts = max_arq_attempts
+        #: Extra loss probability per *busy* spectrally-overlapping
+        #: channel at delivery time, scaled by overlap ((5−Δ)/5). This
+        #: is why real deployments (and the paper) stick to the
+        #: orthogonal 1/6/11: frames near an active channel 3 or 9 pay.
+        self.adjacent_channel_loss = adjacent_channel_loss
+        self._radios: List[Radio] = []
+        self._channel_busy_until: Dict[int, float] = {}
+
+    def register(self, radio: Radio) -> None:
+        self._radios.append(radio)
+
+    def unregister(self, radio: Radio) -> None:
+        if radio in self._radios:
+            self._radios.remove(radio)
+
+    def radios_on_channel(self, channel: int) -> List[Radio]:
+        return [radio for radio in self._radios if radio.channel == channel]
+
+    def airtime(self, frame: Any) -> float:
+        """Airtime including DIFS/backoff/ACK overhead approximation."""
+        return frame_airtime(frame.size_bytes, frame.rate_bps) + self.per_frame_overhead_s
+
+    def broadcast(self, sender: Radio, frame: Any, attempt: int = 1) -> None:
+        """Serialise the frame onto the channel and schedule deliveries.
+
+        The channel is FIFO: the transmission starts when the channel
+        frees up, and completes one airtime later. Receivers are
+        evaluated at completion time (mobile nodes may have moved).
+        """
+        channel = sender.channel
+        airtime = self.airtime(frame)
+        busy_until = self._channel_busy_until.get(channel, 0.0)
+        start = max(self.sim.now, busy_until)
+        end = start + airtime
+        self._channel_busy_until[channel] = end
+        self.sim.schedule(end - self.sim.now, self._complete, sender, frame, channel, attempt)
+
+    def channel_busy_until(self, channel: int) -> float:
+        return self._channel_busy_until.get(channel, 0.0)
+
+    def _complete(self, sender: Radio, frame: Any, channel: int, attempt: int) -> None:
+        if getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False):
+            self._deliver_broadcast(sender, frame, channel)
+            return
+        self._deliver_unicast(sender, frame, channel, attempt)
+
+    @staticmethod
+    def rssi_at(dist_m: float) -> float:
+        """Log-distance path loss: ~-40 dBm at 10 m, -30 dB/decade."""
+        return -40.0 - 30.0 * math.log10(max(dist_m, 1.0) / 10.0)
+
+    def suggest_rate(self, sender: Radio, dst_address: str) -> float:
+        """SNR-driven auto-rate: pick the data rate the link supports.
+
+        Real senders track per-station rates from ACK feedback; the
+        simulation uses the true distance as the SNR proxy. Unknown or
+        out-of-range destinations get the top rate (the frame will be
+        lost anyway).
+        """
+        target = None
+        for radio in self._radios:
+            if radio is not sender and radio.address == dst_address:
+                target = radio
+                break
+        if target is None:
+            return DEFAULT_DATA_RATE_BPS
+        dist = distance(sender.mobility.position(self.sim.now), target.position())
+        fraction = dist / self.propagation.range_m
+        for threshold, rate in RATE_LADDER:
+            if fraction <= threshold:
+                return rate
+        return RATE_LADDER[-1][1]
+
+    def interference_loss(self, channel: int) -> float:
+        """Extra loss from busy spectrally-overlapping channels."""
+        if self.adjacent_channel_loss <= 0.0:
+            return 0.0
+        extra = 0.0
+        for other, busy_until in self._channel_busy_until.items():
+            if other == channel or busy_until <= self.sim.now:
+                continue
+            try:
+                overlapping = channels_interfere(channel, other)
+            except ValueError:
+                continue
+            if overlapping:
+                overlap = (5 - abs(channel - other)) / 5.0
+                extra += self.adjacent_channel_loss * overlap
+        return min(extra, 0.9)
+
+    def _loss_probability(self, channel: int, dist: float) -> float:
+        base = self.propagation.loss_probability(dist)
+        return min(1.0, base + self.interference_loss(channel))
+
+    def _deliver_broadcast(self, sender: Radio, frame: Any, channel: int) -> None:
+        sender_pos = sender.mobility.position(self.sim.now)
+        for radio in self._radios:
+            if radio is sender or radio.channel != channel or radio.deaf:
+                continue
+            dist = distance(sender_pos, radio.position())
+            if not self.propagation.in_range(dist):
+                continue
+            if self._rng.random() < self._loss_probability(channel, dist):
+                radio.frames_lost += 1
+                continue
+            radio._deliver(frame, self.rssi_at(dist))
+
+    def _deliver_unicast(self, sender: Radio, frame: Any, channel: int, attempt: int) -> None:
+        """Unicast with link-layer ARQ: retry on loss up to the cap.
+
+        Each retry occupies another airtime on the channel, which is
+        what makes a lossy fringe expensive, not just unreliable.
+        """
+        target = None
+        for radio in self._radios:
+            if radio is not sender and radio.address == frame.dst:
+                target = radio
+                break
+        if target is None or target.channel != channel or target.deaf:
+            self._report_tx_failure(sender, frame)
+            return  # destination gone or off-channel
+        dist = distance(sender.mobility.position(self.sim.now), target.position())
+        if not self.propagation.in_range(dist):
+            self._report_tx_failure(sender, frame)
+            return
+        if self._rng.random() < self._loss_probability(channel, dist):
+            target.frames_lost += 1
+            if attempt < self.max_arq_attempts and sender.channel == channel and not sender.deaf:
+                # 802.11 retries stay within the TXOP: the retry goes
+                # out immediately, ahead of anything queued behind it —
+                # re-entering the FIFO would reorder the stream.
+                airtime = self.airtime(frame)
+                busy_until = self._channel_busy_until.get(channel, 0.0)
+                self._channel_busy_until[channel] = max(busy_until, self.sim.now + airtime)
+                self.sim.schedule(airtime, self._complete, sender, frame, channel, attempt + 1)
+            else:
+                self._report_tx_failure(sender, frame)
+            return
+        target._deliver(frame, self.rssi_at(dist))
+
+    @staticmethod
+    def _report_tx_failure(sender: Radio, frame: Any) -> None:
+        if sender.on_unicast_failure is not None:
+            sender.on_unicast_failure(frame)

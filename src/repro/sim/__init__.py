@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event engine every other subsystem runs on:
+
+- :class:`~repro.sim.engine.Simulator` — the event loop (heap of timed
+  callbacks, deterministic tie-breaking, generator-based processes).
+- :class:`~repro.sim.engine.Event` — a one-shot waitable condition.
+- :class:`~repro.sim.engine.Timeout` — yielded by a process to sleep.
+- :class:`~repro.sim.timers.Timer` — a restartable/cancellable one-shot
+  timer, the building block for protocol retransmission logic.
+- :class:`~repro.sim.randomness.RandomStreams` — named, independently
+  seeded RNG streams so subsystems do not perturb each other's draws.
+"""
+
+from repro.sim.engine import Event, EventHandle, Process, Simulator, Timeout
+from repro.sim.randomness import RandomStreams
+from repro.sim.timers import Timer
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Process",
+    "RandomStreams",
+    "Simulator",
+    "Timeout",
+    "Timer",
+]

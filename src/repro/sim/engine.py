@@ -1,0 +1,293 @@
+"""Core discrete-event simulation engine.
+
+The engine is a heap of ``(time, sequence, callback)`` entries. Sequence
+numbers break ties so that runs are fully deterministic for a given seed.
+On top of the raw callback API sits a small generator-based process layer
+(in the style of SimPy): a process is a generator that yields
+:class:`Timeout`, :class:`Event`, or another :class:`Process`, and is
+resumed when the yielded condition fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation engine."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`. Cancelling a handle is O(1):
+    the heap entry is tombstoned and skipped when popped.
+    """
+
+    __slots__ = ("time", "cancelled", "_callback", "_args")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.cancelled = False
+        self._callback = callback
+        self._args = args
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Safe to call repeatedly."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self._callback(*self._args)
+
+
+class Event:
+    """A one-shot waitable condition.
+
+    Processes yield an ``Event`` to suspend until someone calls
+    :meth:`succeed` (or :meth:`fail`). Multiple processes may wait on the
+    same event; all are resumed in registration order. Callbacks may also
+    be attached directly via :meth:`add_callback`.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_error", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._error is None
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback runs on the next
+        engine step (never synchronously), preserving causal ordering.
+        """
+        if self.triggered:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.sim.schedule(0.0, callback, self)
+        self._callbacks.clear()
+        return self
+
+    def fail(self, error: BaseException) -> "Event":
+        """Trigger the event as a failure; waiting processes re-raise."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._error = error
+        for callback in self._callbacks:
+            self.sim.schedule(0.0, callback, self)
+        self._callbacks.clear()
+        return self
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+
+class Process:
+    """A running generator-based process.
+
+    A ``Process`` is itself waitable: yielding a process from another
+    process suspends the parent until the child returns. The child's
+    return value becomes the value sent to the parent.
+    """
+
+    __slots__ = ("sim", "generator", "done", "value", "_error", "_waiters", "_interrupted")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        self.sim = sim
+        self.generator = generator
+        self.done = False
+        self.value: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+        self._interrupted: Optional[BaseException] = None
+        sim.schedule(0.0, self._step, None, None)
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Throw :class:`Interrupted` into the process at its next resume."""
+        if self.done:
+            return
+        self._interrupted = Interrupted(reason)
+        self.sim.schedule(0.0, self._step, None, None)
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        self.done = True
+        self.value = value
+        self._error = error
+        for waiter in self._waiters:
+            if error is None:
+                self.sim.schedule(0.0, waiter._step, value, None)
+            else:
+                self.sim.schedule(0.0, waiter._step, None, error)
+        self._waiters.clear()
+
+    def _step(self, send_value: Any, throw_error: Optional[BaseException]) -> None:
+        if self.done:
+            return
+        try:
+            if self._interrupted is not None:
+                error, self._interrupted = self._interrupted, None
+                yielded = self.generator.throw(error)
+            elif throw_error is not None:
+                yielded = self.generator.throw(throw_error)
+            else:
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except Interrupted as error:
+            self._finish(None, error)
+            return
+
+        if isinstance(yielded, Timeout):
+            self.sim.schedule(yielded.delay, self._step, yielded.value, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._on_event)
+        elif isinstance(yielded, Process):
+            if yielded.done:
+                self.sim.schedule(0.0, self._step, yielded.value, yielded._error)
+            else:
+                yielded._waiters.append(self)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported value: {yielded!r} "
+                "(expected Timeout, Event, or Process)"
+            )
+
+    def _on_event(self, event: Event) -> None:
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.error)
+
+
+class Interrupted(Exception):
+    """Raised inside a process that was interrupted."""
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> log = []
+    >>> _ = sim.schedule(1.0, log.append, "a")
+    >>> _ = sim.schedule(0.5, log.append, "b")
+    >>> sim.run()
+    >>> log
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._stopped = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        handle = EventHandle(self.now + delay, callback, args)
+        heapq.heappush(self._heap, (handle.time, next(self._sequence), handle))
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def event(self) -> Event:
+        """Create a fresh (untriggered) :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` for use inside a process."""
+        return Timeout(delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a process; it begins on the next step."""
+        return Process(self, generator)
+
+    # -- execution -------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the single next event. Returns False if none remain."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = time
+            handle._fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains, ``stop()`` is called, or ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier.
+        """
+        self._stopped = False
+        while not self._stopped:
+            if until is not None and self._heap:
+                next_time = self._next_pending_time()
+                if next_time is None or next_time > until:
+                    break
+            if not self.step():
+                break
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _next_pending_time(self) -> Optional[float]:
+        while self._heap:
+            time, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for _t, _s, h in self._heap if not h.cancelled)

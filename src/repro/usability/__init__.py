@@ -1,0 +1,13 @@
+"""Usability study substrate (Sec. 4.7).
+
+The paper compares Spider's connectivity profile against one day of
+TCP flows from 161 users of a 25-node downtown mesh (128,587
+connections, 13.6 M packets). We cannot have that trace; this package
+generates a synthetic equivalent matched to the reported aggregate
+statistics, exposing the two distributions Figs. 13/14 actually use:
+TCP connection durations and inter-connection times.
+"""
+
+from repro.usability.mesh_trace import MeshTrace, MeshTraceConfig, generate_mesh_trace
+
+__all__ = ["MeshTrace", "MeshTraceConfig", "generate_mesh_trace"]

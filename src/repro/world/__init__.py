@@ -1,0 +1,51 @@
+"""Physical world substrate: geometry, mobility, and AP deployments.
+
+Replaces the paper's outdoor vehicular testbed (Amherst / Boston). The
+evaluation's independent variables — node speed, AP density, channel
+mix, backhaul bandwidth — are explicit parameters here.
+"""
+
+from repro.world.deployment import (
+    AMHERST_CHANNEL_MIX,
+    BOSTON_CHANNEL_MIX,
+    ApSite,
+    Deployment,
+    DeploymentConfig,
+    generate_deployment,
+)
+from repro.world.geometry import Point, distance
+from repro.world.mobility import (
+    ConstantVelocityMobility,
+    LoopRouteMobility,
+    MobilityModel,
+    StaticMobility,
+    WaypointMobility,
+)
+from repro.world.traces import (
+    TraceMobility,
+    TracePoint,
+    load_trace_csv,
+    save_trace_csv,
+    synthesize_urban_trace,
+)
+
+__all__ = [
+    "AMHERST_CHANNEL_MIX",
+    "BOSTON_CHANNEL_MIX",
+    "ApSite",
+    "ConstantVelocityMobility",
+    "Deployment",
+    "DeploymentConfig",
+    "LoopRouteMobility",
+    "MobilityModel",
+    "Point",
+    "StaticMobility",
+    "TraceMobility",
+    "TracePoint",
+    "WaypointMobility",
+    "distance",
+    "generate_deployment",
+    "load_trace_csv",
+    "save_trace_csv",
+    "synthesize_urban_trace",
+]

@@ -1,0 +1,116 @@
+"""Unit tests for AP routing glue and the bulk-download application."""
+
+import pytest
+
+from repro.mac import frames
+from repro.mac.ap import AccessPoint
+from repro.mac.frames import FrameType
+from repro.net.backhaul import ApRouter, WiredBackhaul
+from repro.net.dhcp import DhcpMessage, DhcpMessageType, DhcpServer, DhcpServerConfig
+from repro.net.tcp import TcpSegment
+from repro.net.traffic import BulkDownload
+from repro.phy.propagation import PropagationModel
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.world.geometry import Point
+from repro.world.mobility import StaticMobility
+
+
+def make_world():
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        PropagationModel(range_m=100.0, base_loss=0.0, edge_start=0.99),
+        RandomStreams(5),
+    )
+    ap = AccessPoint(sim, medium, "ap", 1, Point(10, 0))
+    dhcp = DhcpServer(sim, "ap", config=DhcpServerConfig(beta_min=0.05, beta_max=0.05))
+    backhaul = WiredBackhaul(sim, rate_bps=2e6, latency_s=0.02)
+    router = ApRouter(sim, ap, backhaul, dhcp)
+    client = Radio(medium, StaticMobility(Point(0, 0)), 1, name="cli", address="cli")
+    # associate
+    client.transmit(frames.mgmt_frame(FrameType.AUTH_REQUEST, "cli", "ap"))
+    sim.run()
+    client.transmit(frames.mgmt_frame(FrameType.ASSOC_REQUEST, "cli", "ap"))
+    sim.run()
+    return sim, medium, ap, router, client
+
+
+def test_dhcp_uplink_reaches_server_and_reply_returns():
+    sim, _, ap, router, client = make_world()
+    replies = []
+    client.on_receive = lambda f: replies.append(f.payload)
+    discover = DhcpMessage(DhcpMessageType.DISCOVER, 7, "cli", "ap")
+    client.transmit(frames.data_frame("cli", "ap", discover, discover.size_bytes))
+    sim.run()
+    offers = [p for p in replies if isinstance(p, DhcpMessage)]
+    assert offers and offers[0].type == DhcpMessageType.OFFER
+    assert offers[0].xid == 7
+
+
+def test_tcp_ack_routed_to_registered_flow():
+    sim, _, ap, router, client = make_world()
+    acks = []
+    router.register_flow(42, acks.append)
+    ack = TcpSegment(42, 0, 0, is_ack=True, ack=1000)
+    client.transmit(frames.data_frame("cli", "ap", ack, ack.size_bytes))
+    sim.run()
+    assert len(acks) == 1 and acks[0].ack == 1000
+
+
+def test_unregistered_flow_ack_dropped():
+    sim, _, ap, router, client = make_world()
+    ack = TcpSegment(99, 0, 0, is_ack=True, ack=1)
+    client.transmit(frames.data_frame("cli", "ap", ack, ack.size_bytes))
+    sim.run()  # no exception, silently dropped
+
+
+def test_send_down_traverses_latency_and_shaper():
+    sim, _, ap, router, client = make_world()
+    got = []
+    client.on_receive = lambda f: got.append((sim.now, f.payload))
+    segment = TcpSegment(1, 0, 1400)
+    router.send_down("cli", segment)
+    sim.run()
+    assert got
+    arrival = got[0][0]
+    assert arrival > 0.02 + segment.size_bytes * 8 / 2e6  # latency + service
+
+
+def test_backhaul_up_applies_latency_only():
+    sim = Simulator()
+    backhaul = WiredBackhaul(sim, rate_bps=1e6, latency_s=0.03)
+    times = []
+    backhaul.up(lambda: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(0.03)]
+
+
+def test_bulk_download_moves_data():
+    sim, _, ap, router, client = make_world()
+    delivered = []
+
+    def send_uplink(segment):
+        return client.transmit(
+            frames.data_frame("cli", "ap", segment, segment.size_bytes)
+        )
+
+    flow = BulkDownload(sim, router, "cli", send_uplink, on_deliver=delivered.append)
+    client.on_receive = lambda f: (
+        flow.on_downlink_segment(f.payload)
+        if isinstance(f.payload, TcpSegment)
+        else None
+    )
+    flow.start()
+    sim.run(until=3.0)
+    flow.stop()
+    assert sum(delivered) > 100_000  # 2 Mbps backhaul for ~3 s
+
+
+def test_bulk_download_stop_unregisters():
+    sim, _, ap, router, client = make_world()
+    flow = BulkDownload(sim, router, "cli", lambda s: True)
+    flow.start()
+    flow.stop()
+    assert router._ack_sinks.get(flow.flow_id) is None

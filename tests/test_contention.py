@@ -1,0 +1,30 @@
+"""Tests for the multi-client contention experiment."""
+
+import pytest
+
+from repro.experiments import contention
+
+
+def test_single_client_near_bottleneck():
+    row = contention.run_population(1, duration=25.0)
+    assert row["aggregate_kBps"] > 600.0  # of the 1000 KB/s bottleneck
+    assert row["per_client_kBps"] == row["aggregate_kBps"]
+
+
+def test_two_clients_share_but_do_not_mint_bandwidth():
+    result = contention.run(populations=(1, 2), duration=25.0)
+    one, two = result["rows"]
+    assert two["aggregate_kBps"] <= result["bottleneck_kBps"] * 1.05
+    assert two["per_client_kBps"] < one["per_client_kBps"]
+
+
+def test_all_clients_manage_to_join():
+    row = contention.run_population(3, duration=25.0)
+    assert all(j >= 1 for j in row["joined_interfaces"])
+
+
+def test_report_shape():
+    result = contention.run(populations=(1,), duration=10.0)
+    assert result["experiment"] == "contention"
+    assert {"clients", "aggregate_kBps", "per_client_kBps",
+            "min_client_kBps", "joined_interfaces"} <= set(result["rows"][0])

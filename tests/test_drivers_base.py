@@ -1,0 +1,120 @@
+"""Tests for shared driver machinery (scanner, virtual interfaces)."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.drivers.base import DriverConfig, Scanner
+from repro.experiments.common import LabScenario
+from repro.sim.engine import Simulator
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+class TestScanner:
+    def test_observe_and_query(self):
+        sim = Simulator()
+        scanner = Scanner(sim)
+        scanner.observe("ap", 6, -50.0)
+        current = scanner.current()
+        assert len(current) == 1
+        assert current[0].channel == 6
+
+    def test_channel_filter(self):
+        sim = Simulator()
+        scanner = Scanner(sim)
+        scanner.observe("a", 1, -50.0)
+        scanner.observe("b", 6, -50.0)
+        assert [o.name for o in scanner.current(channel=6)] == ["b"]
+
+    def test_observations_age_out(self):
+        sim = Simulator()
+        scanner = Scanner(sim, horizon=5.0)
+        scanner.observe("ap", 1, -50.0)
+        sim.run(until=10.0)
+        assert scanner.current() == []
+
+    def test_reobservation_refreshes(self):
+        sim = Simulator()
+        scanner = Scanner(sim, horizon=5.0)
+        scanner.observe("ap", 1, -50.0)
+        sim.run(until=4.0)
+        scanner.observe("ap", 1, -60.0)
+        sim.run(until=8.0)
+        assert len(scanner.current()) == 1
+
+    def test_forget(self):
+        sim = Simulator()
+        scanner = Scanner(sim)
+        scanner.observe("ap", 1, -50.0)
+        scanner.forget("ap")
+        assert scanner.current() == []
+        assert scanner.last_seen("ap") is None
+
+    def test_last_seen(self):
+        sim = Simulator()
+        scanner = Scanner(sim)
+        sim.schedule(2.0, scanner.observe, "ap", 1, -50.0)
+        sim.run()
+        assert scanner.last_seen("ap") == 2.0
+
+
+class TestDriverConfig:
+    def test_association_config_carries_link_timeout(self):
+        config = DriverConfig(link_timeout=0.123)
+        assert config.association_config().link_timeout == 0.123
+
+    def test_dhcp_config_carries_timers(self):
+        config = DriverConfig(
+            dhcp_retry_timeout=0.2,
+            dhcp_attempt_window=1.5,
+            dhcp_idle_backoff=30.0,
+            dhcp_restart_immediately=True,
+        )
+        dhcp = config.dhcp_config()
+        assert dhcp.retry_timeout == 0.2
+        assert dhcp.attempt_window == 1.5
+        assert dhcp.idle_backoff == 30.0
+        assert dhcp.restart_immediately is True
+
+
+class TestInterfaceLifecycle:
+    def _connected_lab(self):
+        lab = LabScenario(seed=61)
+        lab.add_lab_ap("a", 1, 2e6)
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=10.0)
+        assert spider.connected_interfaces()
+        return lab, spider
+
+    def test_join_records_full_timeline(self):
+        lab, spider = self._connected_lab()
+        record = spider.join_log.records[0]
+        assert record.associated_at is not None
+        assert record.bound_at is not None
+        assert record.bound_at >= record.associated_at >= record.started_at
+
+    def test_teardown_stops_flow(self):
+        lab, spider = self._connected_lab()
+        iface = spider.interfaces["a"]
+        flow = iface.flow
+        spider._teardown_interface(iface)
+        assert not flow.sender.running
+        assert "a" not in spider.interfaces
+
+    def test_silence_reaps_connection(self):
+        lab, spider = self._connected_lab()
+        lab.aps["a"].stop()  # beacons stop
+        lab.aps["a"].radio.go_deaf(1e9)  # and the radio goes dark
+        lab.sim.run(until=lab.sim.now + 10.0)
+        assert "a" not in spider.interfaces
+
+    def test_driver_stop_tears_everything_down(self):
+        lab, spider = self._connected_lab()
+        spider.stop()
+        assert spider.interfaces == {}
+
+    def test_duplicate_join_rejected(self):
+        lab, spider = self._connected_lab()
+        observation = spider.scanner.current(channel=1)[0]
+        assert spider.join(observation) is None

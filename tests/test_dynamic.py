@@ -1,0 +1,79 @@
+"""Tests for dynamic channel selection (the paper's future work)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicChannelSpider, DynamicConfig
+from repro.experiments.common import LabScenario, ScenarioConfig, VehicularScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def make_dynamic(world, mobility, **config_kwargs):
+    return DynamicChannelSpider(
+        world.sim,
+        world.medium,
+        mobility,
+        "spider",
+        config=DynamicConfig(**{**REDUCED, **config_kwargs}),
+        router_lookup=world.router_lookup(),
+    )
+
+
+def test_settles_on_the_dense_channel():
+    lab = LabScenario(seed=81)
+    lab.add_lab_ap("a6", 6, 4e6, index=0)
+    lab.add_lab_ap("b6", 6, 4e6, index=2)
+    lab.add_lab_ap("c1", 1, 1e6, index=4)
+    spider = make_dynamic(lab, lab.static_mobility())
+    spider.start()
+    lab.sim.run(until=40.0)
+    choices = [channel for _t, channel in spider.channel_decisions]
+    assert choices and all(c == 6 for c in choices[1:])
+    spider.stop()
+
+
+def test_decisions_recorded_with_timestamps():
+    lab = LabScenario(seed=82)
+    lab.add_lab_ap("a", 1, 2e6)
+    spider = make_dynamic(lab, lab.static_mobility(), dwell_duration=3.0)
+    spider.start()
+    lab.sim.run(until=20.0)
+    times = [t for t, _c in spider.channel_decisions]
+    assert len(times) >= 3
+    assert all(b > a for a, b in zip(times, times[1:]))
+    spider.stop()
+
+
+def test_aggregates_on_chosen_channel():
+    lab = LabScenario(seed=83)
+    lab.add_lab_ap("a", 11, 2e6, index=0)
+    lab.add_lab_ap("b", 11, 2e6, index=2)
+    spider = make_dynamic(lab, lab.static_mobility())
+    spider.start()
+    lab.sim.run(until=40.0)
+    # Both same-channel APs joined, bandwidth aggregated.
+    assert len(spider.connected_interfaces()) == 2
+    assert spider.recorder.total_bytes > 1_000_000
+    spider.stop()
+
+
+def test_empty_world_keeps_surveying():
+    lab = LabScenario(seed=84)
+    spider = make_dynamic(lab, lab.static_mobility(), dwell_duration=2.0)
+    spider.start()
+    lab.sim.run(until=15.0)
+    assert len(spider.channel_decisions) >= 3
+    spider.stop()
+
+
+@pytest.mark.slow
+def test_vehicular_dynamic_tracks_best_channel():
+    scenario = VehicularScenario(ScenarioConfig(seed=85))
+    spider = make_dynamic(scenario, scenario.mobility, dwell_duration=6.0)
+    spider.start()
+    scenario.sim.run(until=240.0)
+    chosen = {channel for _t, channel in spider.channel_decisions}
+    assert chosen <= {1, 6, 11}
+    assert len(spider.channel_decisions) >= 10
+    assert spider.recorder.total_bytes > 0
+    spider.stop()

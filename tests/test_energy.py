@@ -1,0 +1,83 @@
+"""Tests for the radio energy model."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+from repro.metrics.energy import EnergyMeter, EnergyModel, EnergyReport
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+class TestEnergyReport:
+    def test_total_is_sum_of_states(self):
+        report = EnergyReport(elapsed=10.0, tx_j=1.0, rx_j=2.0, idle_j=3.0, reset_j=0.5)
+        assert report.total_j == pytest.approx(6.5)
+
+    def test_average_power(self):
+        report = EnergyReport(elapsed=10.0, tx_j=5.0, rx_j=0.0, idle_j=5.0, reset_j=0.0)
+        assert report.average_power_w == pytest.approx(1.0)
+
+    def test_joules_per_megabyte(self):
+        report = EnergyReport(elapsed=1.0, tx_j=2.0, rx_j=0.0, idle_j=0.0, reset_j=0.0)
+        assert report.joules_per_megabyte(2_000_000) == pytest.approx(1.0)
+        assert report.joules_per_megabyte(0) == float("inf")
+
+    def test_zero_elapsed(self):
+        report = EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0)
+        assert report.average_power_w == 0.0
+
+
+class TestMeterOnRealRuns:
+    def _metered_run(self, schedule, period=0.4, duration=30.0, aps=1):
+        lab = LabScenario(seed=95)
+        for i in range(aps):
+            lab.add_lab_ap(f"ap{i}", 1, 2e6, index=2 * i)
+        spider = lab.make_spider(SpiderConfig(schedule=schedule, period=period, **REDUCED))
+        spider.start()
+        meter = EnergyMeter(spider.radio)
+        lab.sim.run(until=duration)
+        report = meter.report()
+        delivered = spider.recorder.total_bytes
+        spider.stop()
+        return report, delivered
+
+    def test_states_account_for_all_elapsed_time(self):
+        report, _ = self._metered_run({1: 1.0})
+        state_time = (
+            report.tx_j / 1.30 + report.rx_j / 0.95
+            + report.idle_j / 0.85 + report.reset_j / 0.30
+        )
+        assert state_time == pytest.approx(report.elapsed, rel=0.02)
+
+    def test_idle_listening_dominates(self):
+        """The classic Wi-Fi energy result."""
+        report, _ = self._metered_run({1: 1.0})
+        assert report.idle_j > report.tx_j
+        assert report.idle_j > report.rx_j
+
+    def test_switching_schedule_accrues_reset_energy(self):
+        switching, _ = self._metered_run({1: 0.5, 11: 0.5})
+        dedicated, _ = self._metered_run({1: 1.0})
+        assert switching.reset_j > dedicated.reset_j
+
+    def test_aggregating_driver_more_efficient_per_byte(self):
+        """More APs on one channel → more bytes for ~the same power."""
+        one_ap, delivered_one = self._metered_run({1: 1.0}, aps=1)
+        two_ap, delivered_two = self._metered_run({1: 1.0}, aps=2)
+        assert (
+            two_ap.joules_per_megabyte(delivered_two)
+            < one_ap.joules_per_megabyte(delivered_one)
+        )
+
+    def test_meter_window_starts_at_construction(self):
+        lab = LabScenario(seed=96)
+        lab.add_lab_ap("a", 1, 2e6)
+        spider = lab.make_spider(SpiderConfig(schedule={1: 1.0}, **REDUCED))
+        spider.start()
+        lab.sim.run(until=10.0)
+        meter = EnergyMeter(spider.radio)  # late attach
+        lab.sim.run(until=15.0)
+        report = meter.report()
+        spider.stop()
+        assert report.elapsed == pytest.approx(5.0)

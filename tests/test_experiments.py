@@ -1,0 +1,208 @@
+"""Integration tests: every experiment runs (scaled down) and the
+paper's qualitative shapes hold."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments import (
+    ablations,
+    fig2_join_model,
+    fig3_beta_sensitivity,
+    fig4_dividing_speed,
+    fig5_association,
+    fig6_dhcp,
+    fig7_tcp_fraction,
+    fig8_tcp_dwell,
+    fig9_micro,
+    fig10_cdfs,
+    fig11_join_timeout,
+    fig12_join_policies,
+    fig13_usability,
+    fig14_usability,
+    tab1_switch_latency,
+    tab2_throughput_connectivity,
+    tab3_dhcp_failures,
+    tab4_channels,
+)
+
+
+@pytest.mark.slow
+class TestModelExperiments:
+    def test_fig2_model_matches_simulation(self):
+        result = fig2_join_model.run(
+            fractions=[0.1, 0.3, 0.5, 1.0], runs=20, trials_per_run=50
+        )
+        assert fig2_join_model.max_model_sim_gap(result) < 0.08
+        for series in result["series"]:
+            assert series["model"][-1] > 0.95  # near-certain at f=1
+
+    def test_fig3_success_falls_with_beta_max(self):
+        result = fig3_beta_sensitivity.run(beta_maxes=[1.0, 5.0, 10.0])
+        for series in result["series"]:
+            assert series["values"][0] >= series["values"][-1] - 1e-9
+        assert fig3_beta_sensitivity.switch_delay_effect(result) < 0.15
+
+    def test_fig4_dividing_speed_below_ten(self):
+        result = fig4_dividing_speed.run(grid_step=0.05)
+        for scenario in result["scenarios"]:
+            assert scenario["dividing_speed"] is not None
+            assert scenario["dividing_speed"] <= 10.0
+            # ch2 bandwidth decreases with speed and hits zero.
+            ch2 = scenario["ch2_bps"]
+            assert ch2[0] > 0
+            assert ch2[-1] == 0.0
+
+
+@pytest.mark.slow
+class TestJoinExperiments:
+    def test_fig5_association_robust_to_switching(self):
+        result = fig5_association.run(
+            fractions=(0.25, 1.0), seeds=(1, 2), duration=180.0
+        )
+        by_fraction = {s["fraction"]: s for s in result["series"]}
+        assert len(by_fraction[1.0]["association_times"]) > 3
+        # Dedicated channel associates fast; f=.25 still succeeds often.
+        assert by_fraction[1.0]["median"] < 0.5
+        assert len(by_fraction[0.25]["association_times"]) > 0
+
+    def test_fig6_reduced_timers_speed_up_joins(self):
+        result = fig6_dhcp.run(
+            cases=((1.0, 0.1, "100% - 100ms"), (1.0, 1.0, "100% - default")),
+            seeds=(1,),
+            duration=150.0,
+        )
+        fast, slow = result["series"]
+        assert fast["median"] < slow["median"]
+
+    def test_fig11_single_channel_joins_faster_than_three(self):
+        result = fig11_join_timeout.run(
+            seeds=(1, 2),
+            duration=240.0,
+            cases=(("200ms, channel 1", 1.0, 0.2), ("200ms, 3 channels", 1 / 3, 0.2)),
+        )
+        single, triple = result["series"]
+        # Fractional-channel joins are strictly rarer and slower; on a
+        # short run they may not complete at all (which proves the
+        # point even more strongly).
+        if triple["join_times"]:
+            assert single["median"] < triple["median"]
+        assert len(triple["join_times"]) <= len(single["join_times"])
+
+    def test_fig12_policies_produce_joins(self):
+        result = fig12_join_policies.run(
+            seeds=(1,),
+            duration=120.0,
+            cases=(
+                ("1 iface, ch1, default TO", (1,), 1, 1.0, 1.0),
+                ("7 ifaces, ch1, reduced", (1,), 7, 0.1, 0.2),
+            ),
+        )
+        for series in result["series"]:
+            assert series["join_times"], series["label"]
+
+    def test_tab3_reduced_timers_fail_more_than_default(self):
+        result = tab3_dhcp_failures.run(
+            seeds=(1,),
+            duration=150.0,
+            cases=(
+                ("ch1, ll=100ms, dhcp=200ms", (1,), 0.1, 0.2, 28.2),
+                ("ch1, default timers", (1,), 1.0, 1.0, 13.5),
+            ),
+        )
+        reduced, default = result["rows"]
+        assert reduced["mean_pct"] > default["mean_pct"]
+
+
+@pytest.mark.slow
+class TestTcpExperiments:
+    def test_fig7_monotonic(self):
+        result = fig7_tcp_fraction.run(fractions=(0.2, 0.6, 1.0), duration=30.0)
+        values = result["throughput_kbps"]
+        assert values[0] < values[-1]
+        assert fig7_tcp_fraction.is_roughly_monotonic(result)
+
+    def test_fig8_non_monotonic(self):
+        result = fig8_tcp_dwell.run(dwells=(0.025, 0.05, 0.2, 0.4), duration=30.0)
+        assert fig8_tcp_dwell.is_non_monotonic(result)
+
+
+@pytest.mark.slow
+class TestSystemExperiments:
+    def test_tab1_latency_grows_with_interfaces(self):
+        result = tab1_switch_latency.run(max_interfaces=2, duration=10.0)
+        rows = result["rows"]
+        assert rows[0]["mean_ms"] < rows[2]["mean_ms"]
+        assert 3.0 < rows[0]["mean_ms"] < 8.0
+
+    def test_fig9_spider_single_channel_matches_two_cards(self):
+        # Long enough for the second (staggered) stock card's default
+        # timers to join and contribute a representative share.
+        result = fig9_micro.run(backhauls=(2e6,), duration=45.0)
+        by_config = {s["config"]: s["throughput_kBps"][0] for s in result["series"]}
+        one = by_config["one-card-stock"]
+        two = by_config["two-cards-stock"]
+        spider = by_config["spider-100-0-0"]
+        assert two > one * 1.4
+        assert spider > one * 1.5
+        assert abs(spider - two) / two < 0.4
+
+    def test_tab2_headline_shapes(self):
+        result = tab2_throughput_connectivity.run(
+            duration=300.0,
+            configs=("ch1-multi-ap", "ch1-single-ap", "3ch-multi-ap"),
+        )
+        rows = {r["config"]: r for r in result["rows"]}
+        # Single-channel multi-AP wins throughput...
+        assert rows["ch1-multi-ap"]["throughput_kBps"] > rows["ch1-single-ap"]["throughput_kBps"]
+        assert rows["ch1-multi-ap"]["throughput_kBps"] > rows["3ch-multi-ap"]["throughput_kBps"]
+
+    def test_tab4_single_channel_max_throughput(self):
+        result = tab4_channels.run(duration=300.0)
+        rows = result["rows"]
+        assert rows[0]["throughput_kBps"] == max(r["throughput_kBps"] for r in rows)
+
+    def test_fig10_single_channel_dominates_instantaneous_bw(self):
+        result = fig10_cdfs.run(duration=300.0, configs=("ch1-multi-ap", "3ch-multi-ap"))
+        by_config = {s["config"]: s for s in result["series"]}
+        assert (
+            by_config["ch1-multi-ap"]["bw_p60"]
+            > by_config["3ch-multi-ap"]["bw_p60"]
+        )
+
+
+@pytest.mark.slow
+class TestUsabilityExperiments:
+    def test_fig13_spider_covers_user_flows(self):
+        result = fig13_usability.run(duration=240.0, configs=("ch1-multi-ap",))
+        assert result["coverage"]["ch1-multi-ap"] > 0.8
+
+    def test_fig14_has_all_series(self):
+        result = fig14_usability.run(duration=240.0, configs=("3ch-multi-ap",))
+        labels = [s["label"] for s in result["series"]]
+        assert "user inter-connection" in labels
+        assert len(result["series"]) == 2
+
+
+class TestRunnerCli:
+    def test_registry_covers_all_artifacts(self):
+        expected = {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+            "tab1", "tab2", "tab3", "tab4", "ablations", "model-gap",
+            "contention",
+        }
+        assert set(runner.REGISTRY) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("fig99")
+
+    def test_list_command(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "tab2" in out
+
+    def test_run_command_fast(self, capsys):
+        assert runner.main(["run", "fig3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "beta_max" in out

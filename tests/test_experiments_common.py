@@ -1,0 +1,98 @@
+"""Tests for the shared scenario machinery."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import (
+    LabScenario,
+    RunResult,
+    ScenarioConfig,
+    VehicularScenario,
+)
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+class TestLabScenario:
+    def test_ap_wiring_complete(self):
+        lab = LabScenario(seed=1)
+        lab.add_lab_ap("a", 1, 2e6)
+        assert "a" in lab.aps
+        router = lab.router_lookup()("a")
+        assert router is not None
+        assert router.dhcp_server is not None
+
+    def test_unknown_ap_lookup_returns_none(self):
+        lab = LabScenario(seed=1)
+        assert lab.router_lookup()("ghost") is None
+
+    def test_run_produces_result(self):
+        lab = LabScenario(seed=1)
+        lab.add_lab_ap("a", 1, 2e6)
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        result = lab.run(spider, 20.0)
+        assert isinstance(result, RunResult)
+        assert result.throughput_kbytes_per_s > 0
+        assert 0 <= result.connectivity <= 1
+        assert result.join_successes >= 1
+
+    def test_summary_keys(self):
+        lab = LabScenario(seed=1)
+        lab.add_lab_ap("a", 1, 2e6)
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        summary = lab.run(spider, 10.0).summary()
+        assert {"throughput_KBps", "connectivity_pct", "join_attempts",
+                "join_successes", "dhcp_failure_pct"} <= set(summary)
+
+
+class TestVehicularScenario:
+    def test_world_built_from_deployment(self):
+        scenario = VehicularScenario(ScenarioConfig(seed=2))
+        assert len(scenario.aps) == len(scenario.deployment.open_sites())
+        assert scenario.mobility.speed(0.0) == 10.0
+
+    def test_seed_changes_world(self):
+        a = VehicularScenario(ScenarioConfig(seed=2))
+        b = VehicularScenario(ScenarioConfig(seed=3))
+        assert {s.name for s in a.deployment.sites} != set()
+        positions_a = [s.position for s in a.deployment.sites]
+        positions_b = [s.position for s in b.deployment.sites]
+        assert positions_a != positions_b
+
+    def test_same_seed_reproduces_world(self):
+        a = VehicularScenario(ScenarioConfig(seed=4))
+        b = VehicularScenario(ScenarioConfig(seed=4))
+        assert [s.position for s in a.deployment.sites] == [
+            s.position for s in b.deployment.sites
+        ]
+
+    @pytest.mark.slow
+    def test_same_seed_same_config_reproduces_run(self):
+        def run_once():
+            scenario = VehicularScenario(ScenarioConfig(seed=5))
+            spider = scenario.make_spider(
+                SpiderConfig.single_channel_multi_ap(1, **REDUCED)
+            )
+            return scenario.run(spider, 120.0)
+
+        first = run_once()
+        second = run_once()
+        assert first.throughput_kbytes_per_s == second.throughput_kbytes_per_s
+        assert first.connectivity == second.connectivity
+
+    @pytest.mark.slow
+    def test_speed_affects_outcomes(self):
+        slow_sc = VehicularScenario(ScenarioConfig(seed=6, speed=5.0))
+        slow = slow_sc.run(
+            slow_sc.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED)),
+            180.0,
+        )
+        fast_sc = VehicularScenario(ScenarioConfig(seed=6, speed=20.0))
+        fast = fast_sc.run(
+            fast_sc.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED)),
+            180.0,
+        )
+        # Same world; a slower node holds connections longer.
+        assert max(slow.connection_durations, default=0) >= max(
+            fast.connection_durations, default=0
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for 802.11 frame construction."""
+
+import pytest
+
+from repro.mac import frames
+from repro.mac.frames import BROADCAST, Frame, FrameType
+from repro.phy.channels import DEFAULT_DATA_RATE_BPS, MANAGEMENT_RATE_BPS
+
+
+def test_mgmt_frame_uses_basic_rate():
+    frame = frames.mgmt_frame(FrameType.AUTH_REQUEST, "a", "b")
+    assert frame.rate_bps == MANAGEMENT_RATE_BPS
+
+
+def test_mgmt_frame_sizes_fixed_per_type():
+    probe = frames.mgmt_frame(FrameType.PROBE_REQUEST, "a", BROADCAST)
+    beacon = frames.beacon("a")
+    assert probe.size_bytes == 68
+    assert beacon.size_bytes == 110
+
+
+def test_mgmt_frame_rejects_data_type():
+    with pytest.raises(ValueError):
+        frames.mgmt_frame(FrameType.DATA, "a", "b")
+
+
+def test_broadcast_frames_do_not_need_ack():
+    assert frames.beacon("a").needs_ack is False
+    unicast = frames.mgmt_frame(FrameType.AUTH_REQUEST, "a", "b")
+    assert unicast.needs_ack is True
+
+
+def test_broadcast_property():
+    assert frames.beacon("a").broadcast
+    assert not frames.mgmt_frame(FrameType.AUTH_REQUEST, "a", "b").broadcast
+
+
+def test_null_data_carries_pm_bit():
+    sleeping = frames.null_data("cli", "ap", pm=True)
+    awake = frames.null_data("cli", "ap", pm=False)
+    assert sleeping.pm and not awake.pm
+    assert sleeping.type == FrameType.NULL_DATA
+
+
+def test_ps_poll():
+    frame = frames.ps_poll("cli", "ap")
+    assert frame.type == FrameType.PS_POLL
+    assert frame.size_bytes == 20
+
+
+def test_data_frame_size_adds_header():
+    frame = frames.data_frame("a", "b", "payload", 1400)
+    assert frame.size_bytes == 1400 + frames.DATA_HEADER_BYTES
+    assert frame.rate_bps == DEFAULT_DATA_RATE_BPS
+
+
+def test_data_frame_rejects_negative_payload():
+    with pytest.raises(ValueError):
+        frames.data_frame("a", "b", None, -1)
+
+
+def test_data_frames_bufferable_by_default():
+    assert frames.data_frame("a", "b", None, 100).bufferable is True
+
+
+def test_sequence_numbers_unique():
+    a = frames.beacon("x")
+    b = frames.beacon("x")
+    assert a.seq != b.seq

@@ -1,0 +1,99 @@
+"""Tests for adjacent-channel interference in the medium."""
+
+import pytest
+
+from repro.mac import frames
+from repro.phy.propagation import PropagationModel
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.world.geometry import Point
+from repro.world.mobility import StaticMobility
+
+
+def make_medium(adjacent_loss=0.25):
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        PropagationModel(range_m=100.0, base_loss=0.0, edge_start=0.99),
+        RandomStreams(9),
+        adjacent_channel_loss=adjacent_loss,
+    )
+    return sim, medium
+
+
+def radio(medium, x, channel, name):
+    return Radio(medium, StaticMobility(Point(x, 0)), channel, name=name, address=name)
+
+
+def test_no_interference_when_spectrum_quiet():
+    sim, medium = make_medium()
+    assert medium.interference_loss(1) == 0.0
+
+
+def test_busy_overlapping_channel_raises_loss():
+    sim, medium = make_medium()
+    medium._channel_busy_until[3] = 1.0  # channel 3 active now
+    assert medium.interference_loss(1) > 0.0
+
+
+def test_orthogonal_channels_do_not_interfere():
+    sim, medium = make_medium()
+    medium._channel_busy_until[6] = 1.0
+    assert medium.interference_loss(1) == 0.0
+    medium._channel_busy_until[11] = 1.0
+    assert medium.interference_loss(6) == 0.0
+
+
+def test_interference_scales_with_overlap():
+    sim, medium = make_medium()
+    medium._channel_busy_until[2] = 1.0
+    near = medium.interference_loss(1)
+    sim2, medium2 = make_medium()
+    medium2._channel_busy_until[4] = 1.0
+    far = medium2.interference_loss(1)
+    assert near > far > 0.0
+
+
+def test_stale_busy_windows_ignored():
+    sim, medium = make_medium()
+    medium._channel_busy_until[3] = 1.0
+    sim.run(until=2.0)  # the transmission ended long ago
+    assert medium.interference_loss(1) == 0.0
+
+
+def test_interference_capped():
+    sim, medium = make_medium(adjacent_loss=0.5)
+    for channel in (2, 3, 4, 5):
+        medium._channel_busy_until[channel] = 10.0
+    assert medium.interference_loss(1) <= 0.9
+
+
+def test_disabled_by_zero_parameter():
+    sim, medium = make_medium(adjacent_loss=0.0)
+    medium._channel_busy_until[3] = 10.0
+    assert medium.interference_loss(1) == 0.0
+
+
+def test_end_to_end_losses_rise_near_busy_overlap():
+    """Broadcast delivery rate drops while channel 3 is saturated."""
+
+    def deliveries(with_interferer):
+        sim, medium = make_medium(adjacent_loss=0.4)
+        a = radio(medium, 0, 1, "a")
+        b = radio(medium, 10, 1, "b")
+        got = []
+        b.on_receive = got.append
+        if with_interferer:
+            jam_tx = radio(medium, 5, 3, "jam")
+            # Saturate channel 3 with back-to-back large frames.
+            for _ in range(2000):
+                jam_tx.transmit(frames.data_frame("jam", "nobody", None, 1400))
+        for i in range(300):
+            sim.schedule(i * 0.01, a.transmit, frames.beacon("a"))
+        sim.run()
+        return len(got)
+
+    clean = deliveries(with_interferer=False)
+    jammed = deliveries(with_interferer=True)
+    assert jammed < clean * 0.9

@@ -1,0 +1,80 @@
+"""Unit tests for Spider's join-history AP selection state."""
+
+import math
+
+from repro.core.join_history import ApStats, JoinHistory
+
+
+def test_unknown_ap_gets_optimistic_prior():
+    history = JoinHistory()
+    assert history.score("new-ap", now=0.0) > 0.0
+
+
+def test_success_improves_score_over_prior():
+    history = JoinHistory()
+    prior = history.score("ap", now=0.0)
+    history.record_success("ap", join_time=0.5)
+    assert history.score("ap", now=0.0) > prior
+
+
+def test_fast_joiner_beats_slow_joiner():
+    history = JoinHistory()
+    history.record_success("fast", join_time=0.5)
+    history.record_success("slow", join_time=5.0)
+    assert history.score("fast", now=0.0) > history.score("slow", now=0.0)
+
+
+def test_reliable_beats_flaky():
+    history = JoinHistory(failure_backoff=0.0)
+    for _ in range(4):
+        history.record_success("reliable", join_time=1.0)
+    history.record_success("flaky", join_time=1.0)
+    for _ in range(3):
+        history.record_failure("flaky", now=0.0)
+    assert history.score("reliable", now=10.0) > history.score("flaky", now=10.0)
+
+
+def test_failure_blacklists_temporarily():
+    history = JoinHistory(failure_backoff=10.0)
+    history.record_failure("ap", now=100.0)
+    assert history.blacklisted("ap", now=105.0)
+    assert not history.blacklisted("ap", now=111.0)
+
+
+def test_blacklisted_scores_neg_infinity():
+    history = JoinHistory(failure_backoff=10.0)
+    history.record_failure("ap", now=0.0)
+    assert history.score("ap", now=5.0) == -math.inf
+
+
+def test_ema_tracks_recent_join_times():
+    stats = ApStats()
+    stats.record_success(10.0)
+    for _ in range(20):
+        stats.record_success(1.0)
+    assert stats.ema_join_time < 1.5
+
+
+def test_success_rate_prior_is_one():
+    assert ApStats().success_rate == 1.0
+
+
+def test_success_rate_counts_failures():
+    stats = ApStats()
+    stats.record_success(1.0)
+    stats.record_failure(now=0.0)
+    assert stats.success_rate == 0.5
+
+
+def test_known_aps_snapshot():
+    history = JoinHistory()
+    history.record_success("a", 1.0)
+    history.record_failure("b", now=0.0)
+    known = history.known_aps()
+    assert set(known) == {"a", "b"}
+
+
+def test_stats_created_lazily_and_cached():
+    history = JoinHistory()
+    first = history.stats("ap")
+    assert history.stats("ap") is first

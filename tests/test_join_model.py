@@ -1,0 +1,179 @@
+"""Unit + property tests for the analytical join model (Eqs. 5–7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.join_model import (
+    JoinModelParams,
+    expected_join_time,
+    expected_join_time_unbounded,
+    join_success_probability,
+    q_round_failure,
+    q_single_request,
+    requests_per_round,
+)
+from repro.model.join_simulation import simulate_join_probability
+
+
+class TestParams:
+    def test_defaults_are_paper_values(self):
+        params = JoinModelParams()
+        assert params.period == 0.5
+        assert params.switch_delay == 0.007
+        assert params.request_spacing == 0.1
+        assert params.beta_min == 0.5
+        assert params.loss_rate == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinModelParams(period=0.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(beta_min=2.0, beta_max=1.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(switch_delay=-0.1)
+
+
+class TestRequestsPerRound:
+    def test_ceiling_form(self):
+        params = JoinModelParams()  # D=0.5, c=0.1
+        assert requests_per_round(params, 0.1) == 1
+        assert requests_per_round(params, 0.2) == 1
+        assert requests_per_round(params, 0.21) == 2
+        assert requests_per_round(params, 1.0) == 5
+
+    def test_zero_fraction_no_requests(self):
+        assert requests_per_round(JoinModelParams(), 0.0) == 0
+
+    def test_discontinuities_at_paper_points(self):
+        """The ceiling jumps just above f = 0.2, 0.4, 0.6, 0.8."""
+        params = JoinModelParams()
+        for fraction in (0.2, 0.4, 0.6, 0.8):
+            assert (
+                requests_per_round(params, fraction + 0.01)
+                == requests_per_round(params, fraction) + 1
+            )
+
+
+class TestQSingleRequest:
+    def test_zero_when_window_before_response(self):
+        params = JoinModelParams(beta_min=5.0, beta_max=10.0)
+        assert q_single_request(params, 0.5, 0, 1) == 0.0
+
+    def test_zero_when_window_after_response(self):
+        params = JoinModelParams(beta_min=0.5, beta_max=1.0)
+        # gap of 10 rounds of 0.5 s starts at 5 s, far beyond beta_max.
+        assert q_single_request(params, 0.5, 10, 1) == 0.0
+
+    def test_full_overlap_gives_one(self):
+        params = JoinModelParams(beta_min=0.5, beta_max=0.6)
+        # Choose a gap whose window covers [k*c+0.5, k*c+0.6] entirely.
+        total = sum(
+            q_single_request(params, 1.0, gap, 1) for gap in range(0, 5)
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(
+        st.floats(0.05, 1.0),
+        st.integers(0, 30),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=100)
+    def test_result_is_probability(self, fraction, gap, k):
+        params = JoinModelParams()
+        value = q_single_request(params, fraction, gap, k)
+        assert 0.0 <= value <= 1.0
+
+    def test_windows_partition_beta_mass(self):
+        """Summed over all gaps, a request's success probability over a
+        full-time schedule equals 1 (the response must land somewhere)."""
+        params = JoinModelParams(switch_delay=0.0)
+        total = sum(q_single_request(params, 1.0, gap, 1) for gap in range(0, 40))
+        assert total == pytest.approx(1.0)
+
+
+class TestJoinProbability:
+    def test_zero_fraction_gives_zero(self):
+        assert join_success_probability(JoinModelParams(), 0.0, 4.0) == 0.0
+
+    def test_zero_time_gives_zero(self):
+        assert join_success_probability(JoinModelParams(), 0.5, 0.0) == 0.0
+
+    def test_full_time_long_encounter_is_certain(self):
+        params = JoinModelParams(beta_max=2.0)
+        assert join_success_probability(params, 1.0, 60.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_paper_quoted_values(self):
+        """Sec. 2.1.2: at t=4 s, p falls from ~75% at f=0.3 to ~20% at f=0.1."""
+        params = JoinModelParams(beta_max=5.0)
+        assert join_success_probability(params, 0.3, 4.0) == pytest.approx(0.75, abs=0.05)
+        assert join_success_probability(params, 0.1, 4.0) == pytest.approx(0.20, abs=0.05)
+
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=50)
+    def test_probability_bounds(self, fraction):
+        value = join_success_probability(JoinModelParams(), fraction, 4.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_monotone_in_time(self):
+        params = JoinModelParams()
+        previous = 0.0
+        for rounds in range(1, 20):
+            value = join_success_probability(params, 0.4, rounds * params.period)
+            assert value >= previous - 1e-12
+            previous = value
+
+    def test_more_loss_means_less_success(self):
+        lossless = JoinModelParams(loss_rate=0.0)
+        lossy = JoinModelParams(loss_rate=0.5)
+        assert join_success_probability(lossless, 0.5, 4.0) > join_success_probability(
+            lossy, 0.5, 4.0
+        )
+
+    def test_longer_beta_max_means_less_success(self):
+        fast = JoinModelParams(beta_max=2.0)
+        slow = JoinModelParams(beta_max=10.0)
+        assert join_success_probability(fast, 0.5, 4.0) > join_success_probability(
+            slow, 0.5, 4.0
+        )
+
+    def test_model_matches_simulation(self):
+        """Fig. 2's corroboration, asserted numerically."""
+        params = JoinModelParams(beta_max=5.0)
+        for fraction in (0.1, 0.3, 0.5, 0.9):
+            model = join_success_probability(params, fraction, 4.0)
+            sim = simulate_join_probability(
+                params, fraction, 4.0, runs=30, trials_per_run=100
+            )
+            assert abs(model - sim.mean) < max(3 * sim.std, 0.03)
+
+
+class TestExpectedJoinTime:
+    def test_truncated_at_encounter(self):
+        params = JoinModelParams(beta_max=10.0)
+        assert expected_join_time(params, 0.1, 2.0) <= 2.0
+
+    def test_faster_ap_means_faster_join(self):
+        fast = JoinModelParams(beta_max=1.0)
+        slow = JoinModelParams(beta_max=10.0)
+        assert expected_join_time(fast, 1.0, 30.0) < expected_join_time(slow, 1.0, 30.0)
+
+    def test_unbounded_infinite_when_no_requests_fit(self):
+        params = JoinModelParams()
+        assert math.isinf(expected_join_time_unbounded(params, 0.0))
+
+    def test_unbounded_close_to_beta_mean_at_full_time(self):
+        """Full-time on channel: expected join ≈ response delay mean."""
+        params = JoinModelParams(beta_min=1.0, beta_max=3.0, loss_rate=0.0)
+        expected = expected_join_time_unbounded(params, 1.0)
+        assert 1.0 < expected < 3.5
+
+    def test_unbounded_decreasing_in_fraction(self):
+        params = JoinModelParams(beta_max=10.0)
+        high = expected_join_time_unbounded(params, 0.9)
+        low = expected_join_time_unbounded(params, 0.3)
+        assert high < low

@@ -1,0 +1,150 @@
+"""Unit tests for the client association state machine."""
+
+import pytest
+
+from repro.mac import frames
+from repro.mac.ap import AccessPoint
+from repro.mac.association import (
+    AssociationConfig,
+    AssociationMachine,
+    AssociationState,
+)
+from repro.mac.frames import FrameType
+from repro.phy.propagation import PropagationModel
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.world.geometry import Point
+from repro.world.mobility import StaticMobility
+
+
+def make_setup(loss=0.0, link_timeout=0.1):
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        PropagationModel(range_m=100.0, base_loss=loss, edge_start=0.99),
+        RandomStreams(4),
+    )
+    ap = AccessPoint(sim, medium, "ap", 1, Point(10, 0))
+    client = Radio(medium, StaticMobility(Point(0, 0)), 1, name="cli", address="cli")
+    results = []
+    machine = AssociationMachine(
+        sim, client, "cli", "ap", 1,
+        config=AssociationConfig(link_timeout=link_timeout),
+        on_result=lambda m, ok: results.append(ok),
+    )
+    client.on_receive = machine.handle_frame
+    return sim, medium, ap, client, machine, results
+
+
+def test_happy_path_associates():
+    sim, _, ap, _, machine, results = make_setup()
+    machine.start()
+    sim.run()
+    assert machine.associated
+    assert results == [True]
+    assert "cli" in ap.associated
+
+
+def test_association_time_recorded():
+    sim, _, _, _, machine, _ = make_setup()
+    machine.start()
+    sim.run()
+    assert machine.timing.association_time is not None
+    assert 0 < machine.timing.association_time < 1.0
+
+
+def test_retries_on_loss_eventually_succeed():
+    sim, _, _, _, machine, results = make_setup(loss=0.4)
+    machine.start()
+    sim.run(until=20.0)
+    assert results == [True]
+    assert machine.attempts >= 1
+
+
+def test_does_not_transmit_off_channel():
+    sim, _, ap, client, machine, _ = make_setup()
+    client.set_channel(6)
+    machine.start()
+    sim.run(until=1.0)
+    assert "cli" not in ap.authenticated  # nothing ever reached the AP
+
+    # Once back on channel, the timer-driven resend completes the join.
+    client.set_channel(1)
+    sim.run(until=3.0)
+    assert machine.associated
+
+
+def test_max_attempts_fails():
+    sim, medium, ap, client, machine, results = make_setup()
+    medium.unregister(ap.radio)  # AP gone: requests go unanswered
+    machine.config.max_attempts = 3
+    machine.start()
+    sim.run(until=5.0)
+    assert machine.state == AssociationState.FAILED
+    assert results == [False]
+
+
+def test_deadline_fails_exchange():
+    sim, medium, ap, client, machine, results = make_setup()
+    medium.unregister(ap.radio)
+    machine.config.deadline = 0.35
+    machine.config.max_attempts = 1000
+    machine.start()
+    sim.run(until=5.0)
+    assert machine.state == AssociationState.FAILED
+
+
+def test_abort_stops_without_result():
+    sim, _, _, _, machine, results = make_setup()
+    machine.start()
+    machine.abort()
+    sim.run(until=5.0)
+    assert results == []
+    assert machine.state == AssociationState.IDLE
+
+
+def test_start_is_idempotent_while_running():
+    sim, _, _, _, machine, results = make_setup()
+    machine.start()
+    machine.start()
+    sim.run()
+    assert results == [True]
+
+
+def test_restart_after_failure_allowed():
+    sim, medium, ap, client, machine, results = make_setup()
+    machine.config.max_attempts = 2
+    medium.unregister(ap.radio)
+    machine.start()
+    sim.run(until=3.0)
+    assert results == [False]
+    medium.register(ap.radio)
+    machine.start()
+    sim.run(until=10.0)
+    assert results == [False, True]
+
+
+def test_frames_from_wrong_ap_ignored():
+    sim, _, _, _, machine, _ = make_setup()
+    machine.start()
+    bogus = frames.mgmt_frame(FrameType.AUTH_RESPONSE, "impostor", "cli")
+    machine.handle_frame(bogus)
+    assert machine.state == AssociationState.AUTHENTICATING
+
+
+def test_deauth_during_exchange_fails():
+    sim, _, _, _, machine, results = make_setup()
+    machine.start()
+    machine.handle_frame(frames.mgmt_frame(FrameType.DEAUTH, "ap", "cli"))
+    assert machine.state == AssociationState.FAILED
+    assert results == [False]
+
+
+def test_attempts_reset_between_stages():
+    """The per-message cap applies per message, not per exchange."""
+    sim, _, _, _, machine, _ = make_setup(loss=0.3)
+    machine.config.max_attempts = 6
+    machine.start()
+    sim.run(until=30.0)
+    assert machine.associated

@@ -1,0 +1,180 @@
+"""Unit + property tests for metrics collectors and statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.collector import JoinLog, ThroughputRecorder
+from repro.metrics.stats import (
+    cdf_at,
+    empirical_cdf,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+from repro.sim.engine import Simulator
+
+
+class TestStats:
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_mean_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_stdev_constant_is_zero(self):
+        assert stdev([5, 5, 5]) == 0.0
+
+    def test_stdev_known_value(self):
+        assert stdev([2, 4]) == pytest.approx(1.0)
+
+    def test_percentile_bounds(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_percentile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_empirical_cdf_shape(self):
+        xs, ys = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ys == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([]) == ([], [])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == 0.5
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["median"] == 2.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_percentile_within_minmax(self, values):
+        for q in (0, 25, 50, 75, 100):
+            assert min(values) <= percentile(values, q) <= max(values)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_cdf_is_nondecreasing(self, values):
+        xs, ys = empirical_cdf(values)
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+
+class TestThroughputRecorder:
+    def test_average_throughput(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.schedule(0.5, recorder.record, 1000)
+        sim.schedule(1.5, recorder.record, 1000)
+        sim.run(until=10.0)
+        assert recorder.average_throughput_kbytes_per_s() == pytest.approx(0.2)
+        assert recorder.average_throughput_bps() == pytest.approx(1600.0)
+
+    def test_connectivity_fraction(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule(t, recorder.record, 100)
+        sim.run(until=10.0)
+        assert recorder.connectivity_fraction() == pytest.approx(0.3)
+
+    def test_connection_episodes(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        for t in (0.5, 1.5, 5.5):  # two buckets, gap, one bucket
+            sim.schedule(t, recorder.record, 100)
+        sim.run(until=10.0)
+        assert recorder.connection_durations() == [2.0, 1.0]
+
+    def test_disruption_episodes(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        for t in (0.5, 5.5):
+            sim.schedule(t, recorder.record, 100)
+        sim.run(until=10.0)
+        assert recorder.disruption_durations() == [4.0, 4.0]
+
+    def test_instantaneous_bandwidths_skip_dead_air(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.schedule(0.5, recorder.record, 2000)
+        sim.schedule(3.5, recorder.record, 4000)
+        sim.run(until=10.0)
+        assert recorder.instantaneous_bandwidths_kbytes() == [2.0, 4.0]
+
+    def test_empty_recorder(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.run(until=5.0)
+        assert recorder.average_throughput_bps() == 0.0
+        assert recorder.connectivity_fraction() == 0.0
+        assert recorder.connection_durations() == []
+
+    def test_zero_duration(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        assert recorder.average_throughput_kbytes_per_s() == 0.0
+
+
+class TestJoinLog:
+    def test_open_record_appends(self):
+        log = JoinLog()
+        record = log.open_record("ap", 1, now=5.0)
+        assert log.records == [record]
+        assert record.started_at == 5.0
+
+    def test_timings(self):
+        log = JoinLog()
+        record = log.open_record("ap", 1, now=10.0)
+        record.associated_at = 10.4
+        record.bound_at = 11.5
+        assert record.association_time == pytest.approx(0.4)
+        assert record.join_time == pytest.approx(1.5)
+        assert record.succeeded
+
+    def test_unfinished_record_has_no_times(self):
+        log = JoinLog()
+        record = log.open_record("ap", 1, now=0.0)
+        assert record.association_time is None
+        assert record.join_time is None
+        assert not record.succeeded
+
+    def test_series_extraction(self):
+        log = JoinLog()
+        a = log.open_record("a", 1, now=0.0)
+        a.associated_at, a.bound_at = 0.2, 1.0
+        b = log.open_record("b", 6, now=0.0)
+        b.associated_at = 0.3
+        b.dhcp_failures = 2
+        assert log.association_times() == [pytest.approx(0.2), pytest.approx(0.3)]
+        assert log.join_times() == [pytest.approx(1.0)]
+        assert log.attempts() == 2
+        assert log.successes() == 1
+        assert log.dhcp_attempts() == 2
+
+    def test_dhcp_failure_rate(self):
+        log = JoinLog()
+        good = log.open_record("a", 1, now=0.0)
+        good.associated_at, good.bound_at = 0.1, 0.5
+        bad = log.open_record("b", 1, now=0.0)
+        bad.associated_at = 0.1
+        bad.dhcp_failures = 3
+        assert log.dhcp_failure_rate() == pytest.approx(0.75)
+
+    def test_failure_rate_empty_is_zero(self):
+        assert JoinLog().dhcp_failure_rate() == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.metrics.plots import bar_chart, cdf_plot, line_plot
+
+
+class TestLinePlot:
+    def test_empty_series(self):
+        assert line_plot([]) == "(no data)"
+        assert line_plot([("a", [], [])]) == "(no data)"
+
+    def test_contains_glyphs_and_legend(self):
+        out = line_plot([("alpha", [0, 1, 2], [0, 1, 4])])
+        assert "o" in out
+        assert "alpha" in out
+
+    def test_two_series_distinct_glyphs(self):
+        out = line_plot(
+            [("one", [0, 1], [0, 1]), ("two", [0, 1], [1, 0])]
+        )
+        assert "o one" in out and "x two" in out
+
+    def test_axis_labels_present(self):
+        out = line_plot([("s", [0, 10], [0, 5])], x_label="speed", y_label="kbps")
+        assert "speed" in out
+        assert "kbps" in out
+
+    def test_y_range_annotated(self):
+        out = line_plot([("s", [0, 1], [2.0, 8.0])])
+        assert "8" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = line_plot([("s", [0, 1, 2, 3], [0, 1, 2, 3])], width=8, height=4)
+        rows = [line for line in out.splitlines() if "|" in line and "+" not in line]
+        first_positions = []
+        for row in rows:
+            body = row.split("|", 1)[1]
+            if "o" in body:
+                first_positions.append(body.index("o"))
+        # Top rows hold the largest y values, which for an increasing
+        # series sit at the largest x — so positions decrease downward.
+        assert first_positions == sorted(first_positions, reverse=True)
+
+
+class TestCdfPlot:
+    def test_basic_render(self):
+        out = cdf_plot([("joins", [1.0, 2.0, 2.5, 4.0])], x_label="seconds")
+        assert "cumulative fraction" in out
+        assert "joins" in out
+
+    def test_x_max_truncates_but_keeps_fractions(self):
+        out = cdf_plot([("s", [1, 2, 3, 100])], x_max=10)
+        # The visible maximum must be <= 10, not 100.
+        assert "100" not in out
+
+    def test_empty(self):
+        assert cdf_plot([("s", [])]) == "(no data)"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        out = bar_chart([("big", 100.0), ("small", 10.0)])
+        big_line = next(line for line in out.splitlines() if "big" in line)
+        small_line = next(line for line in out.splitlines() if "small" in line)
+        assert big_line.count("#") > small_line.count("#") * 5
+
+    def test_unit_suffix(self):
+        out = bar_chart([("x", 5.0)], unit=" KB/s")
+        assert "5.0 KB/s" in out
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart([("zero", 0.0), ("one", 1.0)])
+        zero_line = next(line for line in out.splitlines() if "zero" in line)
+        assert "#" not in zero_line

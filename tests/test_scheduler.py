@@ -1,0 +1,124 @@
+"""Unit tests for Spider's channel scheduler."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+
+
+def make_spider(schedule, period=0.3, seed=21, aps=(), **kwargs):
+    lab = LabScenario(seed=seed)
+    for name, channel in aps:
+        lab.add_lab_ap(name, channel, 2e6, index=len(name))
+    spider = lab.make_spider(
+        SpiderConfig(schedule=schedule, period=period,
+                     link_timeout=0.1, dhcp_retry_timeout=0.2, **kwargs)
+    )
+    return lab, spider
+
+
+def test_single_channel_never_switches():
+    lab, spider = make_spider({1: 1.0}, aps=[("ap", 1)])
+    spider.start()
+    lab.sim.run(until=10.0)
+    assert spider.scheduler.switches == []
+    assert spider.radio.channel == 1
+
+
+def test_multi_channel_visits_all_channels():
+    lab, spider = make_spider({1: 1 / 3, 6: 1 / 3, 11: 1 / 3})
+    spider.start()
+    visited = set()
+    for t in range(0, 100):
+        lab.sim.run(until=t * 0.05)
+        visited.add(spider.radio.channel)
+    assert visited == {1, 6, 11}
+
+
+def test_switch_records_logged():
+    lab, spider = make_spider({1: 0.5, 11: 0.5})
+    spider.start()
+    lab.sim.run(until=3.0)
+    switches = spider.scheduler.switches
+    assert len(switches) >= 15  # ~2 per 0.3 s period
+    for record in switches:
+        assert record.from_channel != record.to_channel
+        assert record.latency > 0
+
+
+def test_switch_latency_about_hw_reset_when_unconnected():
+    lab, spider = make_spider({1: 0.5, 11: 0.5})
+    spider.start()
+    lab.sim.run(until=3.0)
+    grouped = spider.scheduler.switch_latency_by_interfaces()
+    latencies = grouped.get(0, [])
+    assert latencies
+    average = sum(latencies) / len(latencies)
+    assert 0.004 < average < 0.007
+
+
+def test_switch_latency_grows_with_connected_interfaces():
+    lab, spider = make_spider(
+        {1: 0.5, 11: 0.5},
+        aps=[("a", 1), ("b", 11), ("c", 1), ("d", 11)],
+    )
+    spider.start()
+    lab.sim.run(until=30.0)
+    grouped = spider.scheduler.switch_latency_by_interfaces()
+    assert 4 in grouped and 0 in grouped
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(grouped[4]) > mean(grouped[0])
+
+
+def test_dwell_time_respects_fractions():
+    lab, spider = make_spider({1: 0.8, 11: 0.2}, period=0.5)
+    spider.start()
+    samples = {1: 0, 11: 0}
+    for i in range(1, 2001):
+        lab.sim.run(until=i * 0.005)
+        if spider.radio.channel in samples:
+            samples[spider.radio.channel] += 1
+    fraction_on_1 = samples[1] / sum(samples.values())
+    assert 0.7 < fraction_on_1 < 0.9
+
+
+def test_stop_halts_switching():
+    lab, spider = make_spider({1: 0.5, 11: 0.5})
+    spider.start()
+    lab.sim.run(until=2.0)
+    spider.scheduler.stop()
+    count = len(spider.scheduler.switches)
+    lab.sim.run(until=5.0)
+    assert len(spider.scheduler.switches) == count
+
+
+def test_psm_announced_on_switch():
+    lab, spider = make_spider({1: 0.5, 11: 0.5}, aps=[("a", 1)])
+    ap = lab.aps["a"]
+    spider.start()
+    lab.sim.run(until=10.0)
+    # While the card is on channel 11, the AP must hold the client in PSM.
+    for _ in range(100):
+        lab.sim.run(until=lab.sim.now + 0.01)
+        if spider.radio.channel == 11 and "spider" in ap.associated:
+            assert ap.client_in_psm("spider")
+            break
+    else:
+        pytest.fail("never observed the off-channel state")
+
+
+def test_no_psm_when_ablated():
+    lab, spider = make_spider({1: 0.5, 11: 0.5}, aps=[("a", 1)], use_psm=False)
+    ap = lab.aps["a"]
+    spider.start()
+    lab.sim.run(until=10.0)
+    assert not ap.client_in_psm("spider")
+
+
+def test_schedule_fraction_validation():
+    with pytest.raises(ValueError):
+        SpiderConfig(schedule={1: 0.7, 6: 0.7})
+    with pytest.raises(ValueError):
+        SpiderConfig(schedule={1: -0.1})
+    with pytest.raises(ValueError):
+        SpiderConfig(schedule={1: 1.0}, period=0.0)

@@ -1,0 +1,159 @@
+"""Tests for the multi-AP selection problem and its solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection_problem import (
+    CandidateAp,
+    optimality_gap,
+    solve_exact,
+    solve_greedy_bandwidth,
+    solve_join_history,
+    utility,
+)
+
+
+def ap(name, channel=1, bw=2e6, join=1.0, score=0.5):
+    return CandidateAp(name, channel, bw, join, score)
+
+
+class TestUtility:
+    def test_empty_selection_zero(self):
+        assert utility([], 10.0) == 0.0
+
+    def test_single_ap_full_time(self):
+        value = utility([ap("a", join=1.0, bw=8e6)], in_range_time=11.0)
+        assert value == pytest.approx(8e6 * 10.0 / 8.0)
+
+    def test_join_time_eats_encounter(self):
+        short = utility([ap("a", join=9.0)], in_range_time=10.0)
+        long = utility([ap("a", join=1.0)], in_range_time=10.0)
+        assert short < long
+
+    def test_ap_that_cannot_join_in_time_contributes_nothing(self):
+        assert utility([ap("a", join=20.0)], in_range_time=10.0) == 0.0
+
+    def test_same_channel_aps_share_nothing(self):
+        """Two APs on one channel both get the full fraction (f=1)."""
+        both = utility([ap("a"), ap("b")], in_range_time=10.0)
+        one = utility([ap("a")], in_range_time=10.0)
+        assert both == pytest.approx(2 * one)
+
+    def test_split_channels_halve_fractions_and_slow_joins(self):
+        same = utility([ap("a", 1), ap("b", 1)], in_range_time=10.0)
+        split = utility([ap("a", 1), ap("b", 6)], in_range_time=10.0)
+        assert split < same
+
+    def test_switch_overhead_charged_only_when_multichannel(self):
+        single = utility([ap("a", 1)], 10.0, switch_overhead=0.1, period=0.5)
+        assert single == utility([ap("a", 1)], 10.0, switch_overhead=0.0, period=0.5)
+
+
+class TestSolvers:
+    def test_exact_finds_obvious_best(self):
+        candidates = [
+            ap("fat", 1, bw=10e6, join=0.5),
+            ap("thin", 1, bw=1e6, join=0.5),
+        ]
+        outcome = solve_exact(candidates, in_range_time=10.0)
+        assert "fat" in outcome.names
+
+    def test_exact_prefers_single_channel_at_short_encounters(self):
+        candidates = [
+            ap("a1", 1, bw=3e6, join=1.5),
+            ap("b1", 1, bw=3e6, join=1.5),
+            ap("c6", 6, bw=3e6, join=1.5),
+        ]
+        outcome = solve_exact(candidates, in_range_time=6.0)
+        channels = {chosen.channel for chosen in outcome.aps}
+        assert channels == {1}
+
+    def test_exact_uses_both_channels_on_long_encounters(self):
+        candidates = [
+            ap("a1", 1, bw=3e6, join=0.5),
+            ap("c6", 6, bw=3e6, join=0.5),
+        ]
+        outcome = solve_exact(candidates, in_range_time=120.0)
+        assert {chosen.channel for chosen in outcome.aps} == {1, 6}
+
+    def test_exact_respects_interface_cap(self):
+        candidates = [ap(f"a{i}", 1, bw=2e6, join=0.5) for i in range(10)]
+        outcome = solve_exact(candidates, 20.0, max_interfaces=3)
+        assert len(outcome.aps) <= 3
+
+    def test_greedy_never_beats_exact(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            candidates = [
+                ap(
+                    f"a{i}",
+                    channel=rng.choice([1, 6, 11]),
+                    bw=rng.uniform(1e6, 10e6),
+                    join=rng.uniform(0.5, 5.0),
+                    score=rng.random(),
+                )
+                for i in range(6)
+            ]
+            gaps = optimality_gap(candidates, in_range_time=rng.uniform(5, 30))
+            assert gaps["greedy_bandwidth"] <= 1.0 + 1e-9
+            assert gaps["join_history"] <= 1.0 + 1e-9
+
+    def test_history_heuristic_single_channel(self):
+        candidates = [
+            ap("good1", 1, score=0.9),
+            ap("good2", 1, score=0.8),
+            ap("other", 6, score=0.7),
+        ]
+        outcome = solve_join_history(candidates, in_range_time=10.0)
+        assert set(outcome.names) == {"good1", "good2"}
+
+    def test_history_heuristic_near_optimal_when_joins_dominate(self):
+        """The paper's operating regime: short encounters, join times
+        comparable to encounters — history-on-one-channel is close to
+        exact."""
+        rng = random.Random(7)
+        ratios = []
+        for _ in range(30):
+            candidates = []
+            for i in range(6):
+                join = rng.uniform(1.0, 4.0)
+                candidates.append(
+                    ap(
+                        f"a{i}",
+                        channel=rng.choice([1, 6, 11]),
+                        bw=rng.uniform(2e6, 8e6),
+                        join=join,
+                        score=1.0 / (1.0 + join),  # Spider's knowledge
+                    )
+                )
+            gaps = optimality_gap(candidates, in_range_time=8.0)
+            ratios.append(gaps["join_history"])
+        assert sum(ratios) / len(ratios) > 0.6
+
+    def test_empty_candidates(self):
+        assert solve_exact([], 10.0).utility == 0.0
+        assert solve_join_history([], 10.0).utility == 0.0
+        assert solve_greedy_bandwidth([], 10.0).utility == 0.0
+
+    @given(st.integers(1, 6), st.floats(2.0, 60.0))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_dominates_heuristics_property(self, n, in_range):
+        rng = random.Random(n)
+        candidates = [
+            ap(
+                f"a{i}",
+                channel=rng.choice([1, 6, 11]),
+                bw=rng.uniform(1e6, 10e6),
+                join=rng.uniform(0.2, 6.0),
+                score=rng.random(),
+            )
+            for i in range(n)
+        ]
+        exact = solve_exact(candidates, in_range)
+        greedy = solve_greedy_bandwidth(candidates, in_range)
+        history = solve_join_history(candidates, in_range)
+        assert exact.utility >= greedy.utility - 1e-6
+        assert exact.utility >= history.utility - 1e-6

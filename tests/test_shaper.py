@@ -1,0 +1,100 @@
+"""Unit tests for the token-bucket backhaul shaper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.shaper import TokenBucketShaper
+from repro.sim.engine import Simulator
+
+
+def test_service_time_matches_rate():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    assert shaper.service_time(1250) == pytest.approx(0.01)  # 10 kb at 1 Mbps
+
+
+def test_delivery_after_service_time():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    done = []
+    shaper.enqueue(1250, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.01)]
+
+
+def test_fifo_ordering():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    order = []
+    shaper.enqueue(1000, lambda: order.append("a"))
+    shaper.enqueue(1000, lambda: order.append("b"))
+    shaper.enqueue(1000, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_back_to_back_serialisation():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    times = []
+    for _ in range(3):
+        shaper.enqueue(1250, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(0.01), pytest.approx(0.02), pytest.approx(0.03)]
+
+
+def test_tail_drop_when_full():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e3, queue_limit_bytes=2000)
+    accepted = [shaper.enqueue(1000, lambda: None) for _ in range(3)]
+    assert accepted == [True, True, False]
+    assert shaper.dropped == 1
+
+
+def test_backlog_tracks_queued_bytes():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e3, queue_limit_bytes=10_000)
+    shaper.enqueue(1000, lambda: None)
+    shaper.enqueue(500, lambda: None)
+    assert shaper.backlog_bytes == 1500
+    sim.run()
+    assert shaper.backlog_bytes == 0
+
+
+def test_delivered_counter():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    for _ in range(5):
+        shaper.enqueue(100, lambda: None)
+    sim.run()
+    assert shaper.delivered == 5
+
+
+def test_rejects_nonpositive_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenBucketShaper(sim, rate_bps=0)
+
+
+def test_idle_gap_resets_busy_time():
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6)
+    times = []
+    shaper.enqueue(1250, lambda: times.append(sim.now))
+    sim.run()
+    sim.schedule_at(1.0, shaper.enqueue, 1250, lambda: times.append(sim.now))
+    sim.run()
+    assert times[1] == pytest.approx(1.01)
+
+
+@given(st.lists(st.integers(100, 5000), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_total_time_equals_sum_of_service_times(sizes):
+    sim = Simulator()
+    shaper = TokenBucketShaper(sim, rate_bps=1e6, queue_limit_bytes=10**9)
+    finish = []
+    for size in sizes:
+        shaper.enqueue(size, lambda: finish.append(sim.now))
+    sim.run()
+    assert finish[-1] == pytest.approx(sum(sizes) * 8 / 1e6)

@@ -1,0 +1,293 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_cancelled_handle_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, log.append, "inner"))
+        sim.run()
+        assert log == ["inner"]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_can_resume_after_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert log == ["late"]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, log.append, "never-before-stop")
+        sim.run()
+        assert log == []
+        sim.run()
+        assert log == ["never-before-stop"]
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_zero_delay_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+
+class TestEvents:
+    def test_succeed_wakes_callback(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.schedule(1.0, event.succeed, 42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("v")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["v"]
+
+    def test_failed_event_reports_not_ok(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fail(RuntimeError("boom"))
+        assert event.triggered and not event.ok
+        assert isinstance(event.error, RuntimeError)
+
+
+class TestProcesses:
+    def test_process_timeout_sequencing(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield sim.timeout(1.5)
+            trace.append(("after", sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [("start", 0.0), ("after", 1.5)]
+
+    def test_process_waits_on_event(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def proc():
+            value = yield event
+            got.append(value)
+
+        sim.process(proc())
+        sim.schedule(2.0, event.succeed, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_process_return_value_propagates_to_parent(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(1.0)
+            return "child-result"
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [("child-result", 1.0)]
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        sim = Simulator()
+        done_child = []
+
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        def parent():
+            proc = sim.process(child())
+            yield sim.timeout(5.0)  # child finishes long before
+            value = yield proc
+            done_child.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert done_child == ["early"]
+
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        outcome = []
+
+        def proc():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupted:
+                outcome.append(("interrupted", sim.now))
+
+        process = sim.process(proc())
+        sim.schedule(2.0, process.interrupt)
+        sim.run()
+        assert outcome == [("interrupted", 2.0)]
+
+    def test_failed_event_raises_in_waiting_process(self):
+        sim = Simulator()
+        event = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield event
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        sim.process(proc())
+        sim.schedule(1.0, event.fail, RuntimeError("bad"))
+        sim.run()
+        assert caught == ["bad"]
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a yieldable"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def ticker(name, interval):
+            for _ in range(3):
+                yield sim.timeout(interval)
+                trace.append((name, sim.now))
+
+        sim.process(ticker("a", 1.0))
+        sim.process(ticker("b", 1.5))
+        sim.run()
+        # At t=3.0 both fire; b's resume was scheduled earlier (t=1.5)
+        # so its heap entry has the lower sequence number.
+        assert trace == [
+            ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5),
+        ]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            sim = Simulator()
+            trace = []
+            for i in range(20):
+                sim.schedule(i * 0.1, trace.append, i)
+            sim.run()
+            return trace
+
+        assert build() == build()

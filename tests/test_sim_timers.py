@@ -1,0 +1,78 @@
+"""Unit tests for restartable timers."""
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+def test_timer_fires_after_delay():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_passes_bound_args():
+    sim = Simulator()
+    got = []
+    timer = Timer(sim, got.append, "payload")
+    timer.start(1.0)
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, 1)
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_restart_resets_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.schedule(0.5, timer.start, 2.0)  # re-arm at t=0.5 → fires at 2.5
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_timer_reusable_after_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.schedule(1.5, timer.start, 1.0)
+    sim.run()
+    assert fired == [1.0, 2.5]
+
+
+def test_armed_reflects_state():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    timer.start(1.0)
+    assert timer.armed
+    timer.cancel()
+    assert not timer.armed
+
+
+def test_deadline_reports_absolute_time():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(3.0)
+    assert timer.deadline == 3.0
+    timer.cancel()
+    assert timer.deadline is None
+
+
+def test_cancel_idle_timer_is_safe():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.cancel()  # never armed
+    assert not timer.armed

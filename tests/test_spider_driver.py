@@ -1,0 +1,151 @@
+"""Unit/behaviour tests for the Spider driver."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+def lab_with(aps, seed=31):
+    lab = LabScenario(seed=seed)
+    for index, (name, channel) in enumerate(aps):
+        lab.add_lab_ap(name, channel, 2e6, index=index)
+    return lab
+
+
+class TestJoining:
+    def test_joins_all_aps_on_channel_in_multi_ap_mode(self):
+        lab = lab_with([("a", 1), ("b", 1), ("c", 1)])
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=15.0)
+        assert len(spider.connected_interfaces()) == 3
+
+    def test_single_ap_mode_joins_exactly_one(self):
+        lab = lab_with([("a", 1), ("b", 1), ("c", 1)])
+        spider = lab.make_spider(SpiderConfig.single_channel_single_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=15.0)
+        assert len(spider.interfaces) == 1
+
+    def test_ignores_aps_on_unscheduled_channels(self):
+        lab = lab_with([("a", 1), ("b", 6)])
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=15.0)
+        assert "b" not in spider.interfaces
+
+    def test_max_interfaces_respected(self):
+        lab = lab_with([(f"ap{i}", 1) for i in range(6)])
+        spider = lab.make_spider(
+            SpiderConfig.single_channel_multi_ap(1, max_interfaces=2, **REDUCED)
+        )
+        spider.start()
+        lab.sim.run(until=15.0)
+        assert len(spider.interfaces) <= 2
+
+    def test_multi_channel_joins_across_channels(self):
+        lab = lab_with([("a", 1), ("b", 6), ("c", 11)])
+        spider = lab.make_spider(
+            SpiderConfig.multi_channel_multi_ap(period=0.3, **REDUCED)
+        )
+        spider.start()
+        lab.sim.run(until=30.0)
+        channels = {iface.channel for iface in spider.connected_interfaces()}
+        assert channels == {1, 6, 11}
+
+    def test_join_history_updated_on_success(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=10.0)
+        stats = spider.history.stats("a")
+        assert stats.successes >= 1
+        assert stats.ema_join_time is not None
+
+
+class TestLeaseCache:
+    def test_cached_lease_skips_dhcp_on_rejoin(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        spider.start()
+        lab.sim.run(until=10.0)
+        iface = spider.interfaces["a"]
+        spider._on_connection_lost(iface)  # simulate losing the AP
+        lab.sim.run(until=20.0)  # rejoin happens via maintenance tick
+        cached_records = [r for r in spider.join_log.records if r.used_cached_lease]
+        assert cached_records
+
+    def test_cache_disabled_forces_full_dhcp(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(
+            SpiderConfig.single_channel_multi_ap(1, lease_cache_enabled=False, **REDUCED)
+        )
+        spider.start()
+        lab.sim.run(until=10.0)
+        iface = spider.interfaces["a"]
+        spider._on_connection_lost(iface)
+        lab.sim.run(until=20.0)
+        assert all(not r.used_cached_lease for r in spider.join_log.records)
+
+
+class TestSelectionPolicies:
+    def test_invalid_policy_raises(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(
+            SpiderConfig.single_channel_single_ap(1, selection_policy="bogus", **REDUCED)
+        )
+        spider.start()
+        with pytest.raises(ValueError):
+            lab.sim.run(until=10.0)
+
+    @pytest.mark.parametrize("policy", ["history", "rssi", "random"])
+    def test_all_policies_connect(self, policy):
+        lab = lab_with([("a", 1), ("b", 1)])
+        spider = lab.make_spider(
+            SpiderConfig.single_channel_multi_ap(1, selection_policy=policy, **REDUCED)
+        )
+        spider.start()
+        lab.sim.run(until=15.0)
+        assert spider.connected_interfaces()
+
+
+class TestUplinkQueues:
+    def test_data_queued_while_off_channel_flushes_on_return(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(
+            SpiderConfig(schedule={1: 0.5, 11: 0.5}, period=0.4, **REDUCED)
+        )
+        spider.start()
+        lab.sim.run(until=10.0)
+        # Data still flows despite the card being away half the time.
+        assert spider.recorder.total_bytes > 100_000
+
+    def test_queue_capped(self):
+        lab = lab_with([("a", 1)])
+        spider = lab.make_spider(
+            SpiderConfig(
+                schedule={1: 0.5, 11: 0.5}, period=0.4,
+                uplink_queue_frames=5, **REDUCED,
+            )
+        )
+        spider.start()
+        lab.sim.run(until=10.0)
+        for queue in spider._uplink_queues.values():
+            assert len(queue) <= 5
+
+
+class TestThroughputAggregation:
+    def test_two_aps_roughly_double_one(self):
+        lab_one = lab_with([("a", 1)], seed=33)
+        solo = lab_one.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        result_one = lab_one.run(solo, 30.0)
+
+        lab_two = lab_with([("a", 1), ("b", 1)], seed=33)
+        duo = lab_two.make_spider(SpiderConfig.single_channel_multi_ap(1, **REDUCED))
+        result_two = lab_two.run(duo, 30.0)
+
+        ratio = result_two.throughput_kbytes_per_s / result_one.throughput_kbytes_per_s
+        assert ratio > 1.6

@@ -1,0 +1,100 @@
+"""Tests for the stock single-AP driver and the multi-card baseline."""
+
+import pytest
+
+from repro.drivers.stock import StockConfig
+from repro.experiments.common import LabScenario
+
+
+def lab_with(aps, seed=41):
+    lab = LabScenario(seed=seed)
+    for index, (name, channel) in enumerate(aps):
+        lab.add_lab_ap(name, channel, 2e6, index=index)
+    return lab
+
+
+class TestStockDriver:
+    def test_scans_and_connects(self):
+        lab = lab_with([("a", 6)])
+        stock = lab.make_stock()
+        stock.start()
+        lab.sim.run(until=20.0)
+        assert stock.connected_interfaces()
+        assert stock.radio.channel == 6
+
+    def test_exactly_one_interface(self):
+        lab = lab_with([("a", 1), ("b", 6), ("c", 11)])
+        stock = lab.make_stock()
+        stock.start()
+        lab.sim.run(until=20.0)
+        assert len(stock.interfaces) == 1
+
+    def test_picks_strongest_rssi(self):
+        lab = LabScenario(seed=42)
+        lab.add_lab_ap("near", 6, 2e6, distance_m=5.0)
+        lab.add_lab_ap("far", 11, 2e6, distance_m=40.0)
+        stock = lab.make_stock()
+        stock.start()
+        lab.sim.run(until=20.0)
+        assert "near" in stock.interfaces
+
+    def test_config_forces_single_interface_semantics(self):
+        config = StockConfig()
+        assert config.max_interfaces == 1
+        assert config.teardown_on_dhcp_failure is False
+
+    def test_no_aps_keeps_rescanning(self):
+        lab = lab_with([])
+        stock = lab.make_stock()
+        stock.start()
+        lab.sim.run(until=10.0)
+        assert not stock.interfaces
+        assert stock._scanning  # still hunting
+
+    def test_moves_data_once_connected(self):
+        lab = lab_with([("a", 1)])
+        stock = lab.make_stock()
+        result = lab.run(stock, 20.0)
+        assert result.throughput_kbytes_per_s > 50.0
+
+    def test_scan_sweeps_configured_channels(self):
+        lab = lab_with([])
+        config = StockConfig(scan_channels=(1, 6), scan_dwell=0.05)
+        stock = lab.make_stock(config=config)
+        visited = set()
+        stock.start()
+        for i in range(1, 60):
+            lab.sim.run(until=i * 0.01)
+            visited.add(stock.radio.channel)
+        assert visited == {1, 6}
+
+
+class TestMultiCard:
+    def test_two_cards_connect_to_distinct_aps(self):
+        lab = lab_with([("a", 1), ("b", 11)])
+        node = lab.make_multicard(cards=2)
+        node.start()
+        lab.sim.run(until=30.0)
+        joined = {iface.ap_name for iface in node.connected_interfaces()}
+        assert joined == {"a", "b"}
+
+    def test_aggregate_throughput_roughly_double(self):
+        lab_one = lab_with([("a", 1)], seed=43)
+        single = lab_one.make_stock()
+        result_one = lab_one.run(single, 30.0)
+
+        lab_two = lab_with([("a", 1), ("b", 11)], seed=43)
+        dual = lab_two.make_multicard(cards=2)
+        result_two = lab_two.run(dual, 30.0)
+
+        ratio = result_two.throughput_kbytes_per_s / result_one.throughput_kbytes_per_s
+        assert ratio > 1.5
+
+    def test_shared_recorder_aggregates(self):
+        lab = lab_with([("a", 1), ("b", 11)])
+        node = lab.make_multicard(cards=2)
+        node.start()
+        lab.sim.run(until=20.0)
+        assert node.recorder.total_bytes > 0
+        for driver in node.drivers:
+            assert driver.recorder is node.recorder

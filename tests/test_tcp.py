@@ -1,0 +1,249 @@
+"""Unit tests for the packet-level TCP model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender
+from repro.sim.engine import Simulator
+
+
+class Pipe:
+    """Sender↔receiver harness with controllable delay and loss."""
+
+    def __init__(self, sim, config=None, delay=0.05):
+        self.sim = sim
+        self.delay = delay
+        self.drop_next = 0
+        self.paused = False
+        self.queued = []
+        self.delivered_bytes = []
+        self.sender = TcpSender(sim, 1, send=self._down, config=config)
+        self.receiver = TcpReceiver(
+            sim, 1, send_ack=self._up, on_deliver=self.delivered_bytes.append
+        )
+
+    def _down(self, segment):
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            return
+        if self.paused:
+            self.queued.append(segment)
+            return
+        self.sim.schedule(self.delay, self.receiver.on_segment, segment)
+
+    def _up(self, ack):
+        if self.paused:
+            self.queued.append(ack)
+            return
+        self.sim.schedule(self.delay, self.sender.on_ack, ack)
+
+    def resume(self):
+        self.paused = False
+        for item in self.queued:
+            if item.is_ack:
+                self.sim.schedule(self.delay, self.sender.on_ack, item)
+            else:
+                self.sim.schedule(self.delay, self.receiver.on_segment, item)
+        self.queued = []
+
+
+def test_bytes_flow_end_to_end():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=2.0)
+    pipe.sender.stop()
+    assert pipe.receiver.bytes_delivered > 0
+
+
+def test_slow_start_doubles_window():
+    sim = Simulator()
+    pipe = Pipe(sim, TcpConfig(init_cwnd_segments=2))
+    pipe.sender.start()
+    sim.run(until=0.3)  # ~3 RTTs of 0.1 s
+    pipe.sender.stop()
+    assert pipe.sender.cwnd >= 8
+
+
+def test_cwnd_capped():
+    sim = Simulator()
+    config = TcpConfig(max_cwnd_segments=10)
+    pipe = Pipe(sim, config)
+    pipe.sender.start()
+    sim.run(until=5.0)
+    pipe.sender.stop()
+    assert pipe.sender.cwnd <= 10
+
+
+def test_congestion_avoidance_after_ssthresh():
+    sim = Simulator()
+    config = TcpConfig(init_ssthresh_segments=4)
+    pipe = Pipe(sim, config)
+    pipe.sender.start()
+    sim.run(until=0.5)
+    pipe.sender.stop()
+    # Growth continues but is far below slow-start doubling.
+    assert 4 <= pipe.sender.cwnd < 16
+
+
+def test_rtt_estimate_converges():
+    sim = Simulator()
+    pipe = Pipe(sim, delay=0.05)
+    pipe.sender.start()
+    sim.run(until=2.0)
+    pipe.sender.stop()
+    assert pipe.sender.srtt == pytest.approx(0.1, rel=0.3)
+
+
+def test_rto_fires_on_silence():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=0.5)
+    pipe.paused = True  # black-hole everything
+    pipe.queued = []
+    sim.run(until=10.0)
+    assert pipe.sender.timeouts >= 1
+    assert pipe.sender.cwnd == 1.0
+
+
+def test_rto_backoff_doubles():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=0.5)
+    base_rto = pipe.sender.rto
+    pipe.paused = True
+    pipe.queued = []
+    sim.run(until=20.0)
+    assert pipe.sender.rto > base_rto * 2
+
+
+def test_fast_retransmit_on_triple_dupack():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=0.4)
+    pipe.drop_next = 1  # lose exactly one data segment
+    sim.run(until=1.5)
+    pipe.sender.stop()
+    assert pipe.sender.fast_retransmits >= 1
+    # The hole was repaired: delivery continued past the loss.
+    assert pipe.receiver.bytes_delivered > 50_000
+
+
+def test_eifel_detects_spurious_timeout():
+    """A pause shorter than forever: original flight arrives late, the
+    timestamp echo proves the RTO was spurious, cwnd is restored."""
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=1.0)
+    cwnd_before = pipe.sender.cwnd
+    pipe.paused = True
+    sim.run(until=2.0)  # RTO fires during the pause
+    assert pipe.sender.timeouts >= 1
+    pipe.resume()
+    sim.run(until=3.0)
+    pipe.sender.stop()
+    assert pipe.sender.spurious_recoveries >= 1
+    assert pipe.sender.cwnd >= min(cwnd_before, pipe.sender.config.max_cwnd_segments) * 0.5
+
+
+def test_genuine_loss_not_marked_spurious():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=0.3)
+    # Black-hole a while so the whole flight is really gone.
+    pipe.paused = True
+    pipe.queued = []
+    sim.run(until=1.5)
+    pipe.queued = []
+    pipe.paused = False
+    sim.run(until=3.0)
+    pipe.sender.stop()
+    assert pipe.sender.spurious_recoveries == 0
+
+
+def test_stop_halts_transmission():
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.sender.start()
+    sim.run(until=0.5)
+    pipe.sender.stop()
+    sent = pipe.sender.segments_sent
+    sim.run(until=2.0)
+    assert pipe.sender.segments_sent == sent
+
+
+def test_receiver_delivers_in_order_bytes():
+    sim = Simulator()
+    acks = []
+    receiver = TcpReceiver(sim, 1, send_ack=acks.append)
+    receiver.on_segment(TcpSegment(1, 0, 100))
+    receiver.on_segment(TcpSegment(1, 100, 100))
+    assert receiver.bytes_delivered == 200
+    assert acks[-1].ack == 200
+
+
+def test_receiver_buffers_out_of_order():
+    sim = Simulator()
+    acks = []
+    receiver = TcpReceiver(sim, 1, send_ack=acks.append)
+    receiver.on_segment(TcpSegment(1, 100, 100))  # hole at 0
+    assert receiver.bytes_delivered == 0
+    assert acks[-1].ack == 0  # dupack
+    receiver.on_segment(TcpSegment(1, 0, 100))
+    assert receiver.bytes_delivered == 200
+    assert acks[-1].ack == 200
+
+
+def test_receiver_ignores_wrong_flow():
+    sim = Simulator()
+    acks = []
+    receiver = TcpReceiver(sim, 1, send_ack=acks.append)
+    receiver.on_segment(TcpSegment(99, 0, 100))
+    assert receiver.bytes_delivered == 0
+    assert acks == []
+
+
+def test_ack_echoes_segment_timestamp():
+    sim = Simulator()
+    acks = []
+    receiver = TcpReceiver(sim, 1, send_ack=acks.append)
+    receiver.on_segment(TcpSegment(1, 0, 100, ts=123.5))
+    assert acks[0].ts_echo == 123.5
+
+
+def test_throughput_bounded_by_window_over_rtt():
+    sim = Simulator()
+    config = TcpConfig(max_cwnd_segments=10, mss=1000)
+    pipe = Pipe(sim, config, delay=0.05)  # RTT 0.1 s
+    pipe.sender.start()
+    sim.run(until=10.0)
+    pipe.sender.stop()
+    rate = pipe.receiver.bytes_delivered / 10.0
+    assert rate <= 10 * 1000 / 0.1 * 1.1  # window/RTT with 10% slack
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=40, deadline=None)
+def test_receiver_reassembles_any_arrival_order(order):
+    sim = Simulator()
+    receiver = TcpReceiver(sim, 1, send_ack=lambda a: None)
+    for index in order:
+        receiver.on_segment(TcpSegment(1, index * 100, 100))
+    assert receiver.bytes_delivered == 800
+    assert receiver.rcv_nxt == 800
+
+
+def test_segment_size_includes_header():
+    segment = TcpSegment(1, 0, 1400)
+    assert segment.size_bytes == 1440
+    assert TcpSegment(1, 0, 0, is_ack=True).size_bytes == 40
+
+
+def test_segment_end():
+    assert TcpSegment(1, 500, 100).end == 600

@@ -1,0 +1,105 @@
+"""Unit tests for the throughput-maximisation framework (Eqs. 8–10)."""
+
+import pytest
+
+from repro.model.join_model import JoinModelParams
+from repro.model.throughput_opt import (
+    ChannelScenario,
+    dividing_speed,
+    optimize_two_channels,
+    sweep_speeds,
+)
+
+PARAMS = JoinModelParams(beta_max=10.0)
+
+
+def solve(joined, available, speed, **kwargs):
+    return optimize_two_channels(
+        ChannelScenario(joined_fraction=joined),
+        ChannelScenario(available_fraction=available),
+        speed,
+        params=PARAMS,
+        grid_step=kwargs.pop("grid_step", 0.05),
+        **kwargs,
+    )
+
+
+def test_joined_channel_capped_by_offered_bandwidth():
+    schedule = solve(0.25, 0.75, speed=2.5)
+    assert schedule.fractions[0] <= 0.25 + 1e-9
+
+
+def test_fractions_respect_period_budget():
+    schedule = solve(0.5, 0.5, speed=2.5)
+    used = sum(schedule.fractions)
+    switches = sum(1 for f in schedule.fractions if f > 0)
+    assert used + switches * PARAMS.switch_delay / PARAMS.period <= 1.0 + 1e-9
+
+
+def test_slow_speed_uses_both_channels():
+    schedule = solve(0.25, 0.75, speed=2.5)
+    assert schedule.fractions[1] > 0.2
+
+
+def test_high_speed_abandons_join_channel():
+    schedule = solve(0.25, 0.75, speed=20.0)
+    assert schedule.fractions[1] == 0.0
+
+
+def test_total_equals_sum_of_channels():
+    schedule = solve(0.5, 0.5, speed=5.0)
+    assert schedule.total_bps == pytest.approx(sum(schedule.per_channel_bps))
+
+
+def test_bandwidth_proportional_to_fraction():
+    schedule = solve(0.5, 0.5, speed=5.0, wireless_bw_bps=11e6)
+    for fraction, bandwidth in zip(schedule.fractions, schedule.per_channel_bps):
+        assert bandwidth == pytest.approx(fraction * 11e6)
+
+
+def test_dividing_speed_exists_for_all_paper_splits():
+    for joined, available in ((0.25, 0.75), (0.5, 0.5), (0.75, 0.25)):
+        divide = dividing_speed(
+            ChannelScenario(joined_fraction=joined),
+            ChannelScenario(available_fraction=available),
+            params=PARAMS,
+            grid_step=0.05,
+        )
+        assert divide is not None
+        assert divide <= 10.0  # paper: "less than 10 m/s for most scenarios"
+
+
+def test_ch2_bandwidth_monotone_decreasing_with_speed():
+    schedules = sweep_speeds(
+        ChannelScenario(joined_fraction=0.25),
+        ChannelScenario(available_fraction=0.75),
+        [2.5, 5.0, 10.0, 20.0],
+        params=PARAMS,
+        grid_step=0.05,
+    )
+    ch2 = [s.per_channel_bps[1] for s in schedules]
+    assert all(later <= earlier + 1e-6 for earlier, later in zip(ch2, ch2[1:]))
+
+
+def test_speed_must_be_positive():
+    with pytest.raises(ValueError):
+        solve(0.5, 0.5, speed=0.0)
+
+
+def test_in_range_time_scales_inversely_with_speed():
+    slow = solve(0.5, 0.5, speed=2.5)
+    fast = solve(0.5, 0.5, speed=10.0)
+    assert slow.in_range_time == pytest.approx(4 * fast.in_range_time)
+
+
+def test_pure_joined_scenario_ignores_join_model():
+    """With nothing to join, the solution is just the offered caps."""
+    schedule = optimize_two_channels(
+        ChannelScenario(joined_fraction=0.6),
+        ChannelScenario(joined_fraction=0.3),
+        speed=10.0,
+        params=PARAMS,
+        grid_step=0.05,
+    )
+    assert schedule.fractions[0] == pytest.approx(0.6, abs=0.05)
+    assert schedule.fractions[1] == pytest.approx(0.3, abs=0.05)

@@ -1,0 +1,136 @@
+"""Tests for trace-driven mobility."""
+
+import math
+
+import pytest
+
+from repro.world.geometry import Point, distance
+from repro.world.mobility import rectangular_loop
+from repro.world.traces import (
+    TraceMobility,
+    TracePoint,
+    load_trace_csv,
+    save_trace_csv,
+    synthesize_urban_trace,
+)
+
+
+def simple_trace():
+    return [
+        TracePoint(0.0, Point(0, 0)),
+        TracePoint(10.0, Point(100, 0)),
+        TracePoint(20.0, Point(100, 100)),
+    ]
+
+
+class TestTraceMobility:
+    def test_interpolates_between_samples(self):
+        mobility = TraceMobility(simple_trace())
+        assert mobility.position(5.0) == Point(50, 0)
+        mid = mobility.position(15.0)
+        assert mid.x == pytest.approx(100)
+        assert mid.y == pytest.approx(50)
+
+    def test_clamps_before_and_after(self):
+        mobility = TraceMobility(simple_trace())
+        assert mobility.position(-5.0) == Point(0, 0)
+        assert mobility.position(100.0) == Point(100, 100)
+
+    def test_exact_sample_times(self):
+        mobility = TraceMobility(simple_trace())
+        assert mobility.position(10.0) == Point(100, 0)
+
+    def test_duration(self):
+        assert TraceMobility(simple_trace()).duration == 20.0
+
+    def test_speed_from_samples(self):
+        mobility = TraceMobility(simple_trace())
+        assert mobility.speed(5.0) == pytest.approx(10.0, rel=0.01)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            TraceMobility([TracePoint(0.0, Point(0, 0))])
+
+    def test_rejects_nonmonotonic_times(self):
+        with pytest.raises(ValueError):
+            TraceMobility(
+                [TracePoint(0.0, Point(0, 0)), TracePoint(0.0, Point(1, 1))]
+            )
+
+    def test_unsorted_input_is_sorted(self):
+        trace = list(reversed(simple_trace()))
+        mobility = TraceMobility(trace)
+        assert mobility.position(5.0) == Point(50, 0)
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(path, simple_trace())
+        mobility = load_trace_csv(path)
+        assert mobility.position(5.0) == Point(50, 0)
+        assert mobility.duration == 20.0
+
+
+class TestSyntheticUrbanTrace:
+    def test_samples_strictly_ordered(self):
+        points = synthesize_urban_trace(rectangular_loop(400, 200), seed=1)
+        times = [p.time for p in points]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_contains_stops(self):
+        points = synthesize_urban_trace(
+            rectangular_loop(600, 300), stop_every_m=150.0, seed=2
+        )
+        mobility = TraceMobility(points)
+        stationary = 0
+        total = int(mobility.duration)
+        for t in range(total):
+            if mobility.speed(float(t)) < 0.5:
+                stationary += 1
+        assert stationary > total * 0.05  # some time spent at lights
+
+    def test_speeds_vary(self):
+        points = synthesize_urban_trace(
+            rectangular_loop(600, 300), cruise_speed=12.0, speed_jitter=4.0, seed=3
+        )
+        mobility = TraceMobility(points)
+        speeds = {round(mobility.speed(float(t)), 1) for t in range(5, int(mobility.duration), 7)}
+        assert len(speeds) > 3
+
+    def test_stays_near_route(self):
+        route = rectangular_loop(400, 200)
+        points = synthesize_urban_trace(route, seed=4)
+        for point in points:
+            assert -1 <= point.position.x <= 401
+            assert -1 <= point.position.y <= 201
+
+    def test_deterministic_by_seed(self):
+        route = rectangular_loop(400, 200)
+        a = synthesize_urban_trace(route, seed=5)
+        b = synthesize_urban_trace(route, seed=5)
+        assert [(p.time, p.position) for p in a] == [(p.time, p.position) for p in b]
+
+    def test_usable_as_scenario_mobility(self):
+        from repro.core.config import SpiderConfig
+        from repro.core.spider import SpiderDriver
+        from repro.experiments.common import ScenarioConfig, VehicularScenario
+
+        scenario = VehicularScenario(ScenarioConfig(seed=6))
+        trace = synthesize_urban_trace(
+            rectangular_loop(scenario.config.route_width, scenario.config.route_height),
+            seed=6,
+        )
+        spider = SpiderDriver(
+            scenario.sim,
+            scenario.medium,
+            TraceMobility(trace),
+            "spider",
+            config=SpiderConfig.single_channel_multi_ap(
+                1, link_timeout=0.1, dhcp_retry_timeout=0.2
+            ),
+            router_lookup=scenario.router_lookup(),
+        )
+        spider.start()
+        scenario.sim.run(until=60.0)
+        spider.stop()  # drove without errors; joins may or may not land

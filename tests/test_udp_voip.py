@@ -1,0 +1,104 @@
+"""Tests for the UDP/VoIP substrate."""
+
+import pytest
+
+from repro.core.config import SpiderConfig
+from repro.experiments.common import LabScenario
+from repro.net.udp import UdpDatagram, VoipStream, estimate_mos
+from repro.sim.engine import Simulator
+
+REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
+
+
+class TestMosModel:
+    def test_perfect_conditions_high_mos(self):
+        assert estimate_mos(0.0, 0.020) > 4.0
+
+    def test_loss_degrades_mos(self):
+        assert estimate_mos(0.10, 0.020) < estimate_mos(0.0, 0.020)
+
+    def test_delay_degrades_mos(self):
+        assert estimate_mos(0.0, 0.500) < estimate_mos(0.0, 0.050)
+
+    def test_mos_bounded(self):
+        assert 1.0 <= estimate_mos(1.0, 10.0) <= 4.5
+        assert 1.0 <= estimate_mos(0.0, 0.0) <= 4.5
+
+    def test_delay_knee_at_177ms(self):
+        below = estimate_mos(0.0, 0.170) - estimate_mos(0.0, 0.160)
+        above = estimate_mos(0.0, 0.260) - estimate_mos(0.0, 0.250)
+        assert abs(above) > abs(below)
+
+
+class TestVoipStream:
+    def test_cbr_pacing(self):
+        sim = Simulator()
+        sent = []
+        stream = VoipStream(sim, send=sent.append, interval=0.020)
+        stream.start()
+        sim.run(until=1.0)
+        stream.stop()
+        assert 48 <= len(sent) <= 51
+        gaps = [b.sent_at - a.sent_at for a, b in zip(sent, sent[1:])]
+        assert all(abs(g - 0.020) < 1e-9 for g in gaps)
+
+    def test_delay_accounting(self):
+        sim = Simulator()
+        stream = VoipStream(sim, send=lambda d: None)
+        datagram = UdpDatagram(stream.stream_id, 0, sent_at=0.0)
+        sim.run(until=0.150)
+        stream.sent = 1
+        stream.on_datagram(datagram)
+        quality = stream.quality()
+        assert quality.received == 1
+        assert quality.mean_delay == pytest.approx(0.150)
+
+    def test_duplicates_ignored(self):
+        sim = Simulator()
+        stream = VoipStream(sim, send=lambda d: None)
+        datagram = UdpDatagram(stream.stream_id, 0, sent_at=0.0)
+        stream.on_datagram(datagram)
+        stream.on_datagram(datagram)
+        assert stream.received == 1
+
+    def test_foreign_stream_ignored(self):
+        sim = Simulator()
+        stream = VoipStream(sim, send=lambda d: None)
+        stream.on_datagram(UdpDatagram(stream.stream_id + 999, 0, sent_at=0.0))
+        assert stream.received == 0
+
+    def test_loss_fraction(self):
+        sim = Simulator()
+        stream = VoipStream(sim, send=lambda d: None)
+        stream.sent = 10
+        for seq in range(7):
+            stream.on_datagram(UdpDatagram(stream.stream_id, seq, sent_at=sim.now))
+        assert stream.quality().loss_fraction == pytest.approx(0.3)
+
+
+class TestEndToEnd:
+    def _call_quality(self, schedule, period=0.4, duration=30.0):
+        lab = LabScenario(seed=91)
+        lab.add_lab_ap("a", 1, 2e6)
+        spider = lab.make_spider(SpiderConfig(schedule=schedule, period=period, **REDUCED))
+        spider.start()
+        lab.sim.run(until=10.0)
+        interface = spider.interfaces.get("a")
+        assert interface is not None and interface.connected
+        stream = interface.attach_voip()
+        lab.sim.run(until=10.0 + duration)
+        spider.stop()
+        return stream.quality()
+
+    def test_dedicated_channel_call_is_usable(self):
+        quality = self._call_quality({1: 1.0})
+        assert quality.loss_fraction < 0.03
+        assert quality.usable
+
+    def test_three_channel_schedule_degrades_call(self):
+        """Real-time traffic can't ride PSM buffering painlessly: the
+        per-cycle absences add delay spikes and drops."""
+        dedicated = self._call_quality({1: 1.0})
+        switching = self._call_quality({1: 1 / 3, 6: 1 / 3, 11: 1 / 3}, period=0.6)
+        assert switching.mos < dedicated.mos
+        assert switching.p95_delay > dedicated.p95_delay

@@ -1,0 +1,60 @@
+"""Tests for the synthetic mesh user trace (Sec. 4.7 substrate)."""
+
+import pytest
+
+from repro.metrics.stats import median
+from repro.usability.mesh_trace import MeshTrace, MeshTraceConfig, generate_mesh_trace
+
+
+def small_config(**overrides):
+    defaults = dict(users=10, flows_per_user_mean=50.0, seed=1)
+    defaults.update(overrides)
+    return MeshTraceConfig(**defaults)
+
+
+def test_flow_count_matches_users_times_mean():
+    trace = generate_mesh_trace(small_config())
+    assert 350 < trace.flows < 650
+
+
+def test_full_scale_matches_paper_aggregates():
+    trace = generate_mesh_trace(MeshTraceConfig())
+    summary = trace.summary()
+    # Paper: 128,587 flows, 68% http, 13.6M packets, 1.7 GB.
+    assert summary["flows"] == pytest.approx(128_587, rel=0.05)
+    assert summary["http_fraction"] == pytest.approx(0.68, abs=0.02)
+    assert summary["total_packets"] == pytest.approx(13_645_161, rel=0.10)
+    assert summary["total_gb"] == pytest.approx(1.7, rel=0.15)
+
+
+def test_durations_positive_and_heavy_tailed():
+    trace = generate_mesh_trace(small_config())
+    assert all(d > 0 for d in trace.durations)
+    assert max(trace.durations) > 10 * median(trace.durations)
+
+
+def test_median_duration_in_web_range():
+    trace = generate_mesh_trace(small_config(users=50))
+    assert 1.0 < median(trace.durations) < 10.0
+
+
+def test_gaps_median_tens_of_seconds():
+    trace = generate_mesh_trace(small_config(users=50))
+    assert 10.0 < median(trace.gaps) < 60.0
+
+
+def test_deterministic_for_seed():
+    a = generate_mesh_trace(small_config(seed=5))
+    b = generate_mesh_trace(small_config(seed=5))
+    assert a.durations == b.durations
+
+
+def test_different_seeds_differ():
+    a = generate_mesh_trace(small_config(seed=5))
+    b = generate_mesh_trace(small_config(seed=6))
+    assert a.durations != b.durations
+
+
+def test_http_fraction_configurable():
+    trace = generate_mesh_trace(small_config(users=50, http_fraction=0.0))
+    assert trace.http_flows == 0
