@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.mac import frames
+from repro.obs import trace as tr
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.spider import SpiderDriver
@@ -72,6 +73,12 @@ class ChannelScheduler:
                     return
                 latency = yield from self._switch_to(channel)
                 dwell = max(0.0, fraction * self.config.period - latency)
+                trace = sim.trace
+                if trace is not None:
+                    trace.emit(
+                        tr.SCHED_SLOT, sim.now, channel=channel, dwell=dwell,
+                        fraction=fraction,
+                    )
                 self.driver.on_dwell_start(channel)
                 yield sim.timeout(dwell)
 
@@ -95,8 +102,14 @@ class ChannelScheduler:
         #    and the card must not retune until they (and the frames
         #    ahead of them) have gone out, or in-flight downlink data
         #    would be sprayed at a departed client.
+        trace = sim.trace
         if self.config.use_psm:
             for interface in driver.associated_interfaces(old_channel):
+                if trace is not None:
+                    trace.emit(
+                        tr.PSM_ENTER, sim.now, client=driver.address,
+                        ap=interface.ap_name, channel=old_channel,
+                    )
                 radio.transmit(
                     frames.null_data(driver.address, interface.ap_name, pm=True)
                 )
@@ -115,6 +128,11 @@ class ChannelScheduler:
         if self.config.use_psm:
             poll_time = 0.0
             for interface in driver.associated_interfaces(channel):
+                if trace is not None:
+                    trace.emit(
+                        tr.PSM_EXIT, sim.now, client=driver.address,
+                        ap=interface.ap_name, channel=channel,
+                    )
                 frame = frames.null_data(driver.address, interface.ap_name, pm=False)
                 if radio.transmit(frame):
                     poll_time += driver.medium.airtime(frame)
@@ -134,6 +152,15 @@ class ChannelScheduler:
                 latency=latency,
             )
         )
+        if trace is not None:
+            trace.emit(
+                tr.SCHED_SWITCH, sim.now, from_channel=old_channel,
+                to_channel=channel, latency=latency, connected=connected,
+            )
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.counter("sched.switches_total").inc()
+            metrics.histogram("sched.switch_latency_s").observe(latency)
         return latency
 
     # -- micro-benchmark helper ---------------------------------------------

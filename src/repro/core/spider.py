@@ -19,6 +19,7 @@ from repro.core.scheduler import ChannelScheduler
 from repro.drivers.base import ApObservation, BaseDriver, VirtualInterface
 from repro.mac import frames
 from repro.net.backhaul import ApRouter
+from repro.obs import trace as tr
 from repro.phy.radio import Medium
 from repro.sim.engine import Simulator
 from repro.world.mobility import MobilityModel
@@ -127,6 +128,13 @@ class SpiderDriver(BaseDriver):
         if not candidates:
             return
         candidates.sort(key=self._selection_key, reverse=True)
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DRIVER_SELECT, self.sim.now, client=self.address,
+                channel=channel, policy=self.config.selection_policy,
+                candidates=[obs.name for obs in candidates],
+            )
         if self.config.multi_ap:
             for observation in candidates:
                 if len(self.interfaces) >= self.config.max_interfaces:

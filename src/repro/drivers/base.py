@@ -25,6 +25,7 @@ from repro.net.dhcp import DhcpClient, DhcpClientConfig, DhcpMessage, Lease
 from repro.net.tcp import TcpConfig, TcpSegment
 from repro.net.traffic import BulkDownload
 from repro.net.udp import UdpDatagram, VoipStream
+from repro.obs import trace as tr
 from repro.phy.radio import Medium, Radio
 from repro.sim.engine import Simulator
 from repro.world.mobility import MobilityModel
@@ -287,6 +288,16 @@ class BaseDriver:
         self.interfaces: Dict[str, VirtualInterface] = {}
         self._leases: Dict[str, Lease] = {}
         self._running = False
+        self.join_attempts = 0
+        self.join_successes = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.add_source(
+                lambda: {
+                    "driver.join_attempts": self.join_attempts,
+                    "driver.join_successes": self.join_successes,
+                }
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -357,6 +368,14 @@ class BaseDriver:
             record,
         )
         self.interfaces[observation.name] = interface
+        self.join_attempts += 1
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DRIVER_JOIN, self.sim.now, client=self.address,
+                ap=observation.name, channel=observation.channel,
+                rssi=observation.rssi,
+            )
         interface.start()
         return interface
 
@@ -365,6 +384,12 @@ class BaseDriver:
         self.interfaces.pop(interface.ap_name, None)
 
     def _on_connection_lost(self, interface: VirtualInterface) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DRIVER_LOST, self.sim.now, client=self.address,
+                ap=interface.ap_name, channel=interface.channel,
+            )
         self.scanner.forget(interface.ap_name)
         self._teardown_interface(interface)
         self.on_connection_lost(interface)
@@ -373,12 +398,26 @@ class BaseDriver:
         """Subclass hook (e.g. stock driver triggers a rescan)."""
 
     def _on_interface_connected(self, interface: VirtualInterface) -> None:
+        self.join_successes += 1
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DRIVER_CONNECTED, self.sim.now, client=self.address,
+                ap=interface.ap_name, channel=interface.channel,
+                join_time=interface.record.join_time,
+            )
         self.on_interface_connected(interface)
 
     def on_interface_connected(self, interface: VirtualInterface) -> None:
         """Subclass hook."""
 
     def _on_interface_failed(self, interface: VirtualInterface, stage: str) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DRIVER_FAILED, self.sim.now, client=self.address,
+                ap=interface.ap_name, channel=interface.channel, stage=stage,
+            )
         if stage == "dhcp" and not self.config.teardown_on_dhcp_failure:
             # Stock behaviour: the DHCP client idles and retries in place.
             self.on_interface_failed(interface, stage)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.drivers.base import ApObservation, BaseDriver, DriverConfig, VirtualInterface
+from repro.obs import trace as tr
 
 
 @dataclass
@@ -69,6 +70,12 @@ class StockDriver(BaseDriver):
         if self._scanning or not self._running or self.interfaces:
             return
         self._scanning = True
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.SCAN_START, self.sim.now, client=self.address,
+                channels=list(self.config.scan_channels),
+            )
         self.sim.process(self._scan_loop())
 
     def _scan_loop(self):
@@ -85,6 +92,13 @@ class StockDriver(BaseDriver):
                     yield self.sim.timeout(config.scan_dwell)
                 best = self._best_candidate()
                 if best is not None:
+                    trace = self.sim.trace
+                    if trace is not None:
+                        trace.emit(
+                            tr.DRIVER_SELECT, self.sim.now, client=self.address,
+                            channel=best.channel, policy="rssi",
+                            candidates=[best.name],
+                        )
                     if self.radio.channel != best.channel:
                         self.radio.set_channel(best.channel)
                         self.radio.go_deaf(config.switch_reset)

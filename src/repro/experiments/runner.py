@@ -3,13 +3,26 @@
 ``spider-repro list`` shows every reproducible artifact;
 ``spider-repro run fig2 tab2 …`` regenerates them (``all`` for the
 full evaluation). ``--fast`` shrinks durations/samples for smoke runs.
+
+Observability flags (see ``docs: Observability``):
+
+- ``--trace [PATH]`` records every structured trace event of the run
+  and exports them as JSONL (default path ``<name>-trace.jsonl``);
+- ``--metrics`` prints the metrics-registry snapshot after each run;
+- ``--profile`` wraps the run in cProfile and prints the top of the
+  cumulative-time table.
+
+Any of the three also prints a one-line run manifest (parameters, git
+SHA, wall-clock, simulated-event throughput).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
+import time
 from typing import Dict, Optional
 
 #: experiment id → (module path, fast-mode kwargs, description)
@@ -117,12 +130,38 @@ REGISTRY: Dict[str, Dict] = {
 }
 
 
+def _validate_overrides(name: str, module, overrides: Dict) -> None:
+    """Reject overrides the experiment's ``run()`` cannot accept.
+
+    Without this, a typo'd parameter surfaces as a bare TypeError from
+    deep inside the experiment module; here it fails fast and names the
+    experiment and the valid parameters.
+    """
+    if not overrides:
+        return
+    parameters = inspect.signature(module.run).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return  # run(**kwargs) accepts anything; nothing to check
+    allowed = {
+        pname
+        for pname, p in parameters.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    unknown = sorted(set(overrides) - allowed)
+    if unknown:
+        raise TypeError(
+            f"experiment {name!r} does not accept override(s): {', '.join(unknown)}. "
+            f"Valid parameters: {', '.join(sorted(allowed)) or '(none)'}"
+        )
+
+
 def run_experiment(name: str, fast: bool = False, **overrides):
     """Run one experiment by id; returns its result dict."""
     entry = REGISTRY.get(name)
     if entry is None:
         raise KeyError(f"unknown experiment: {name!r} (try 'list')")
     module = importlib.import_module(entry["module"])
+    _validate_overrides(name, module, overrides)
     kwargs = dict(entry["fast"]) if fast else {}
     kwargs.update(overrides)
     return module.run(**kwargs)
@@ -134,6 +173,65 @@ def print_experiment(name: str, result) -> None:
     module.print_report(result)
 
 
+def _run_observed(name: str, args) -> None:
+    """Run one experiment with the requested observability attached."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import build_manifest, observe, profile_call
+    from repro.obs.trace import TraceBus, TraceRecorder, write_jsonl
+
+    observed = args.trace is not None or args.metrics or args.profile
+    if not observed:
+        result = run_experiment(name, fast=args.fast)
+        print_experiment(name, result)
+        return
+
+    bus: Optional[TraceBus] = None
+    recorder: Optional[TraceRecorder] = None
+    if args.trace is not None:
+        bus = TraceBus()
+        recorder = TraceRecorder(bus)
+    registry = MetricsRegistry()
+
+    started = time.time()
+    with observe(trace=bus, metrics=registry):
+        if args.profile:
+            result, profile_text = profile_call(run_experiment, name, fast=args.fast)
+        else:
+            result, profile_text = run_experiment(name, fast=args.fast), None
+    wall = time.time() - started
+
+    print_experiment(name, result)
+    snapshot = registry.snapshot()
+    if args.metrics:
+        print()
+        print(registry.format_snapshot())
+    if profile_text is not None:
+        print()
+        print(profile_text.rstrip())
+    if recorder is not None:
+        path = args.trace if args.trace not in ("auto", "") else f"{name}-trace.jsonl"
+        count = write_jsonl(recorder.events, path)
+        print(f"trace: {count} events -> {path}")
+
+    entry = REGISTRY[name]
+    manifest = build_manifest(
+        experiment=name,
+        parameters=dict(entry["fast"]) if args.fast else {},
+        fast=args.fast,
+        started_at=started,
+        wall_seconds=wall,
+        events_executed=int(snapshot.get("sim.events_executed", 0)),
+        trace_events=bus.events_emitted if bus is not None else 0,
+    )
+    print(manifest.summary())
+    if recorder is not None:
+        manifest_path = (
+            args.trace if args.trace not in ("auto", "") else f"{name}-trace.jsonl"
+        ).rsplit(".", 1)[0] + "-manifest.json"
+        manifest.write(manifest_path)
+        print(f"manifest -> {manifest_path}")
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="spider-repro",
@@ -142,6 +240,20 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("command", choices=["list", "run"], help="what to do")
     parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
     parser.add_argument("--fast", action="store_true", help="shrunk smoke-run parameters")
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="record trace events and export JSONL (default <name>-trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true", help="print the metrics snapshot after each run"
+    )
+    parser.add_argument(
+        "--profile", action="store_true", help="profile the run and print hotspots"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -158,8 +270,7 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
     for name in names:
-        result = run_experiment(name, fast=args.fast)
-        print_experiment(name, result)
+        _run_observed(name, args)
         print()
     return 0
 

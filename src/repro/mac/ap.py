@@ -24,6 +24,7 @@ from typing import Callable, Deque, Dict, Optional, Set
 
 from repro.mac import frames
 from repro.mac.frames import Frame, FrameType
+from repro.obs import trace as tr
 from repro.phy.radio import Medium, Radio
 from repro.sim.engine import Simulator
 from repro.world.mobility import StaticMobility
@@ -87,6 +88,9 @@ class AccessPoint:
         self.on_associated: Optional[Callable[[str], None]] = None
         self.psm_drops = 0
         self._beaconing = False
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.add_source(lambda: {"ap.psm_drops": self.psm_drops})
 
     # -- lifecycle -------------------------------------------------------
 
@@ -145,6 +149,9 @@ class AccessPoint:
         buffer = self._retry_buffers.setdefault(client, deque())
         if len(buffer) >= self.config.psm_buffer_frames:
             self.psm_drops += 1
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(tr.AP_PSM_DROP, self.sim.now, ap=self.name, client=client)
             return
         buffer.append(frame)
 
@@ -171,6 +178,9 @@ class AccessPoint:
             handler(frame)
 
     def _on_probe(self, frame: Frame) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(tr.AP_PROBE_RESP, self.sim.now, ap=self.name, client=frame.src)
         response = frames.mgmt_frame(
             FrameType.PROBE_RESPONSE, self.name, frame.src, payload={"channel": self.channel}
         )
@@ -190,6 +200,9 @@ class AccessPoint:
     def _complete_assoc(self, client: str) -> None:
         self.associated.add(client)
         self._psm_buffers.setdefault(client, deque())
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(tr.AP_ASSOC_GRANT, self.sim.now, ap=self.name, client=client)
         self.radio.transmit(frames.mgmt_frame(FrameType.ASSOC_RESPONSE, self.name, client))
         if self.on_associated is not None:
             self.on_associated(client)
@@ -200,9 +213,17 @@ class AccessPoint:
     def _on_null(self, frame: Frame) -> None:
         if frame.src not in self.associated:
             return
+        trace = self.sim.trace
         if frame.pm:
+            if trace is not None and frame.src not in self._psm_mode:
+                trace.emit(tr.AP_PSM_SLEEP, self.sim.now, ap=self.name, client=frame.src)
             self._psm_mode.add(frame.src)
         else:
+            if trace is not None and frame.src in self._psm_mode:
+                trace.emit(
+                    tr.AP_PSM_WAKE, self.sim.now, ap=self.name, client=frame.src,
+                    buffered=self.psm_backlog(frame.src),
+                )
             self._psm_mode.discard(frame.src)
             self._flush_psm(frame.src)
 
@@ -249,6 +270,9 @@ class AccessPoint:
             buffer = self._psm_buffers.setdefault(client, deque())
             if len(buffer) >= self.config.psm_buffer_frames:
                 self.psm_drops += 1
+                trace = self.sim.trace
+                if trace is not None:
+                    trace.emit(tr.AP_PSM_DROP, self.sim.now, ap=self.name, client=client)
                 return
             buffer.append(frame)
             return

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.mac import frames
 from repro.mac.frames import Frame, FrameType
+from repro.obs import trace as tr
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
@@ -95,6 +96,12 @@ class AssociationMachine:
         self.state = AssociationState.AUTHENTICATING
         self.timing = JoinTiming(started_at=self.sim.now)
         self.attempts = 0
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.ASSOC_START, self.sim.now, client=self.client_address,
+                ap=self.ap_name, channel=self.ap_channel,
+            )
         self._send_current()
 
     def abort(self) -> None:
@@ -128,6 +135,12 @@ class AssociationMachine:
             if self.attempts > self.config.max_attempts:
                 self._fail()
                 return
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.ASSOC_TX, self.sim.now, client=self.client_address,
+                    ap=self.ap_name, stage=frame_type.value, attempt=self.attempts,
+                )
             self.radio.transmit(
                 frames.mgmt_frame(frame_type, self.client_address, self.ap_name)
             )
@@ -152,11 +165,23 @@ class AssociationMachine:
         if frame.type == FrameType.AUTH_RESPONSE and self.state == AssociationState.AUTHENTICATING:
             self.state = AssociationState.ASSOCIATING
             self.attempts = 0
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.ASSOC_STATE, self.sim.now, client=self.client_address,
+                    ap=self.ap_name, state=self.state.value,
+                )
             self._send_current()
         elif frame.type == FrameType.ASSOC_RESPONSE and self.state == AssociationState.ASSOCIATING:
             self.state = AssociationState.ASSOCIATED
             self.timing.associated_at = self.sim.now
             self._timer.cancel()
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.ASSOC_OK, self.sim.now, client=self.client_address,
+                    ap=self.ap_name, took=self.timing.association_time,
+                )
             if self.on_result is not None:
                 self.on_result(self, True)
         elif frame.type == FrameType.DEAUTH:
@@ -167,5 +192,11 @@ class AssociationMachine:
         if self.state == AssociationState.FAILED:
             return
         self.state = AssociationState.FAILED
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.ASSOC_FAIL, self.sim.now, client=self.client_address,
+                ap=self.ap_name, attempts=self.attempts,
+            )
         if self.on_result is not None:
             self.on_result(self, False)

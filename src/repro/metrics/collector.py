@@ -9,10 +9,16 @@ connectivity").
 ``JoinLog`` records every join attempt's timeline (association start,
 association complete, DHCP bound / failed) for the CDFs of Figs. 5, 6,
 11, 12 and the failure rates of Table 3.
+
+``JoinTimeline`` is the trace-driven alternative: subscribed to a
+:class:`~repro.obs.trace.TraceBus`, it reconstructs the same per-AP
+join timelines purely from emitted events — a cross-check that the
+instrumentation points tell the same story as the in-band accounting.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -55,9 +61,12 @@ class ThroughputRecorder:
         return self.total_bytes / 1000.0 / elapsed
 
     def _bucket_range(self) -> range:
-        first = int(self.started_at / self.bucket_s)
-        last = int(self.sim.now / self.bucket_s)
-        return range(first, last)
+        first = int(math.floor(self.started_at / self.bucket_s))
+        # Round the end *up*: a run ending mid-bucket still spent time in
+        # that bucket, so it must be counted (a 0.5 s run is one bucket,
+        # not zero). Integer-duration runs are unchanged by the ceil.
+        last = int(math.ceil(self.sim.now / self.bucket_s))
+        return range(first, max(first, last))
 
     def connectivity_fraction(self) -> float:
         """Metric 2: fraction of buckets with nonzero delivery."""
@@ -178,3 +187,69 @@ class JoinLog:
         if transmissions == 0:
             return 0.0
         return timeouts / transmissions
+
+
+class JoinTimeline:
+    """Join timelines reconstructed from trace events.
+
+    Subscribe to a :class:`~repro.obs.trace.TraceBus` and this collector
+    rebuilds, per (client, AP) pair, the association/DHCP milestones the
+    :class:`JoinLog` tracks in-band. Each ``assoc.start`` opens a fresh
+    record, so repeated joins against the same AP are kept apart.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[JoinRecord] = []
+        self._open: Dict[tuple, JoinRecord] = {}
+
+    def subscribe_to(self, bus) -> "JoinTimeline":
+        bus.subscribe(self.on_event)
+        return self
+
+    def on_event(self, event) -> None:
+        # Local import: obs.trace must stay importable without this module.
+        from repro.obs import trace as tr
+
+        fields = event.fields
+        # Link-layer events name the peer "ap"; DHCP events name it
+        # "server" (same AP — its wired side runs the daemon).
+        peer = fields.get("ap") or fields.get("server")
+        key = (fields.get("client"), peer)
+        if event.kind == tr.ASSOC_START:
+            record = JoinRecord(
+                ap=fields["ap"], channel=fields.get("channel", 0), started_at=event.t
+            )
+            self._open[key] = record
+            self.records.append(record)
+            return
+        record = self._open.get(key)
+        if record is None:
+            return
+        if event.kind == tr.ASSOC_OK:
+            record.associated_at = event.t
+        elif event.kind == tr.DHCP_SEND:
+            record.dhcp_transmissions += 1
+        elif event.kind == tr.DHCP_TIMEOUT:
+            record.dhcp_message_timeouts += 1
+        elif event.kind == tr.DHCP_BIND:
+            record.bound_at = event.t
+            if fields.get("cached"):
+                record.used_cached_lease = True
+            self._open.pop(key, None)
+        elif event.kind == tr.DHCP_FAIL:
+            record.dhcp_failures += 1
+        elif event.kind in (tr.ASSOC_FAIL, tr.DRIVER_FAILED, tr.DRIVER_LOST):
+            if record.failed_at is None:
+                record.failed_at = event.t
+            self._open.pop(key, None)
+
+    # -- derived series (mirror JoinLog) --------------------------------
+
+    def join_times(self) -> List[float]:
+        return [r.join_time for r in self.records if r.join_time is not None]
+
+    def association_times(self) -> List[float]:
+        return [r.association_time for r in self.records if r.association_time is not None]
+
+    def successes(self) -> int:
+        return sum(1 for r in self.records if r.succeeded)

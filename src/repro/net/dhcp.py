@@ -20,6 +20,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.obs import trace as tr
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 
@@ -140,6 +141,12 @@ class DhcpServer:
         self.sim.schedule(self._response_delay(), self._send_reply, client, reply)
 
     def _send_reply(self, client: str, reply: DhcpMessage) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DHCP_SERVER_TX, self.sim.now, server=self.name, client=client,
+                type=reply.type.value,
+            )
         if self.send is not None:
             self.send(client, reply)
 
@@ -247,6 +254,12 @@ class DhcpClient:
         self.started_at = self.sim.now
         self.bound_at = self.sim.now
         self._cancel_timers()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DHCP_BIND, self.sim.now, client=self.client_name,
+                server=self.server_name, ip=lease.ip, took=0.0, xid=self.xid, cached=True,
+            )
         if self.on_bound is not None:
             self.on_bound(self, lease)
 
@@ -293,6 +306,17 @@ class DhcpClient:
             return
         if self.transmit is not None:
             sent_now = self.transmit(message)
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.DHCP_SEND if sent_now else tr.DHCP_BLOCKED,
+                    self.sim.now,
+                    client=self.client_name,
+                    server=self.server_name,
+                    type=message.type.value,
+                    xid=self.xid,
+                    attempt=self.attempts + 1 if sent_now else self.attempts,
+                )
             if sent_now:
                 # Retransmitting over an *overdue* outstanding request
                 # means that request officially timed out (Table 3's
@@ -319,6 +343,12 @@ class DhcpClient:
 
     def _on_retry_timeout(self) -> None:
         if self.state in (DhcpClientState.SELECTING, DhcpClientState.REQUESTING):
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.DHCP_TIMEOUT, self.sim.now, client=self.client_name,
+                    server=self.server_name, state=self.state.value, xid=self.xid,
+                )
             self._send_current()
 
     def _on_window_expired(self) -> None:
@@ -327,6 +357,15 @@ class DhcpClient:
 
     def _fail(self) -> None:
         self._cancel_timers()
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.DHCP_FAIL, self.sim.now, client=self.client_name,
+                server=self.server_name, xid=self.xid, attempts=self.attempts,
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("dhcp.failures_total").inc()
         self.state = DhcpClientState.FAILED
         if self.on_failed is not None:
             self.on_failed(self)
@@ -366,6 +405,14 @@ class DhcpClient:
                 server=self.server_name,
                 obtained_at=self.sim.now,
             )
+            trace = self.sim.trace
+            if trace is not None:
+                took = self.sim.now - self.started_at if self.started_at is not None else 0.0
+                trace.emit(
+                    tr.DHCP_BIND, self.sim.now, client=self.client_name,
+                    server=self.server_name, ip=self.lease.ip, took=took,
+                    xid=self.xid, cached=False,
+                )
             if self.on_bound is not None:
                 self.on_bound(self, self.lease)
         elif message.type == DhcpMessageType.NAK:

@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
+from repro.obs import trace as tr
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 
@@ -111,7 +112,22 @@ class TcpSender:
         self._retransmitted: Set[int] = set()
         self._timed_seq: Optional[int] = None
         self._timed_at: float = 0.0
+        self._last_traced_cwnd = self.cwnd
         self._rto_timer = Timer(sim, self._on_rto)
+
+    def _trace_cwnd(self, trace) -> None:
+        """Emit ``tcp.cwnd`` when the window moved >= 1 segment.
+
+        Per-ACK emission would dominate a trace; segment-granularity
+        keeps slow-start doublings and loss collapses visible while
+        bounding volume.
+        """
+        if abs(self.cwnd - self._last_traced_cwnd) >= 1.0:
+            self._last_traced_cwnd = self.cwnd
+            trace.emit(
+                tr.TCP_CWND, self.sim.now, flow=self.flow_id, cwnd=self.cwnd,
+                ssthresh=self.ssthresh,
+            )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -183,6 +199,12 @@ class TcpSender:
                 self.cwnd = self._pre_rto_cwnd
                 self.ssthresh = self._pre_rto_ssthresh or self.ssthresh
                 self.spurious_recoveries += 1
+                trace = self.sim.trace
+                if trace is not None:
+                    trace.emit(
+                        tr.TCP_SPURIOUS_RECOVERY, self.sim.now, flow=self.flow_id,
+                        cwnd=self.cwnd,
+                    )
             self._pre_rto_cwnd = None
             self._pre_rto_ssthresh = None
             self._rto_fired_at = None
@@ -196,6 +218,9 @@ class TcpSender:
             else:
                 self.cwnd += 1.0 / self.cwnd  # congestion avoidance
         self.cwnd = min(self.cwnd, self.config.max_cwnd_segments)
+        trace = self.sim.trace
+        if trace is not None:
+            self._trace_cwnd(trace)
         if self.in_flight <= 0:
             self._rto_timer.cancel()
         else:
@@ -230,6 +255,16 @@ class TcpSender:
         flight_segments = max(self.in_flight / self.config.mss, 2.0)
         self.ssthresh = max(flight_segments / 2.0, 2.0)
         self.cwnd = self.ssthresh
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.TCP_FAST_RETRANSMIT, self.sim.now, flow=self.flow_id,
+                cwnd=self.cwnd, ssthresh=self.ssthresh,
+            )
+            self._trace_cwnd(trace)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("tcp.fast_retransmits_total").inc()
         self._retransmit_head()
 
     def _on_rto(self) -> None:
@@ -246,11 +281,24 @@ class TcpSender:
         self.rto = min(self.rto * 2.0, self.config.max_rto)
         self.dupacks = 0
         self._timed_seq = None  # Karn: no samples from retransmissions
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.TCP_RTO, self.sim.now, flow=self.flow_id, rto=self.rto,
+                cwnd=self.cwnd, ssthresh=self.ssthresh, timeouts=self.timeouts,
+            )
+            self._trace_cwnd(trace)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("tcp.rtos_total").inc()
         self._retransmit_head()
         self._rto_timer.start(self.rto)
 
     def _retransmit_head(self) -> None:
         self._retransmitted.add(self.snd_una)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter("tcp.retransmissions_total").inc()
         segment = TcpSegment(self.flow_id, self.snd_una, self.config.mss, ts=self.sim.now)
         self.segments_sent += 1
         self._send(segment)

@@ -1,0 +1,27 @@
+"""Observability: structured tracing, metrics, and run provenance.
+
+- :mod:`repro.obs.trace` — the typed event bus and JSONL export;
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms;
+- :mod:`repro.obs.report` — run manifests, profiling, and the
+  :func:`~repro.obs.report.observe` ambient-install context.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RunManifest, build_manifest, observe, profile_call
+from repro.obs.trace import TraceBus, TraceEvent, TraceRecorder, read_jsonl, write_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "TraceBus",
+    "TraceEvent",
+    "TraceRecorder",
+    "build_manifest",
+    "observe",
+    "profile_call",
+    "read_jsonl",
+    "write_jsonl",
+]

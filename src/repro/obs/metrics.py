@@ -1,0 +1,159 @@
+"""Named counters, gauges, and histograms for any subsystem.
+
+The registry is the push/pull complement to the trace bus: traces tell
+you *what happened when*; metrics tell you *how much of it happened*.
+Subsystems use whichever style fits their rate:
+
+- **push** — low-frequency events call ``registry.counter(name).inc()``
+  or ``registry.histogram(name).observe(v)`` directly (TCP RTOs,
+  channel switches);
+- **pull** — hot paths keep their existing cheap attribute counters and
+  register a *source* (``registry.add_source(fn)``) whose dict of
+  values is folded in at snapshot time (frames dropped, per-channel
+  airtime, events executed). A pull source costs nothing per event.
+
+Like tracing, the registry is ambient-optional: ``sim.metrics`` is
+``None`` unless installed, and every push site guards with a ``None``
+check. ``snapshot()`` flattens everything into one ``{name: value}``
+dict; name collisions across sources/instruments are summed, which is
+what makes multi-seed experiment loops aggregate naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value: either set directly or sampled via ``fn``."""
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def sample(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max + mean.
+
+    Deliberately bucket-free: the evaluation's distributions (switch
+    latency, join time) are small enough that exact series live in the
+    experiment results; the histogram exists for cheap run-level
+    summaries in the metrics snapshot.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with a flat snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: List[Callable[[], Mapping[str, float]]] = []
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            instrument.fn = fn  # rebind: the newest sampler wins
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def add_source(self, fn: Callable[[], Mapping[str, float]]) -> None:
+        """Register a pull source: ``fn() -> {name: value}``.
+
+        Sources are sampled only at :meth:`snapshot`; values for the
+        same name (across sources, or source vs counter) are summed.
+        """
+        self._sources.append(fn)
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument and source into ``{name: value}``."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = out.get(name, 0.0) + counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = out.get(name, 0.0) + gauge.sample()
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = histogram.count
+            out[f"{name}.sum"] = histogram.total
+            out[f"{name}.mean"] = histogram.mean
+            if histogram.count:
+                out[f"{name}.min"] = histogram.min
+                out[f"{name}.max"] = histogram.max
+        for source in self._sources:
+            for name, value in source().items():
+                out[name] = out.get(name, 0.0) + float(value)
+        return out
+
+    def format_snapshot(self, indent: str = "  ") -> str:
+        """Human-readable snapshot, sorted by name."""
+        snapshot = self.snapshot()
+        width = max((len(name) for name in snapshot), default=0)
+        lines = []
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{indent}{name:<{width}}  {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Run provenance, profiling, and the ambient observability context.
+
+Experiments construct their simulators internally (one per seed or per
+configuration), so the CLI cannot hand a trace bus to each one. The
+:func:`observe` context installs a bus and/or registry as the *default
+observability* for every :class:`~repro.sim.engine.Simulator` created
+inside the ``with`` block; the engine attaches them at construction
+time. Outside the block, nothing is installed and the stack runs at
+full speed.
+
+:class:`RunManifest` captures what a result *is*: the experiment id,
+its parameters, the code version (git SHA), interpreter, wall-clock
+cost, and simulation-event throughput — enough to tell two exports
+apart six months later and to compare perf PRs honestly.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import subprocess
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.sim import engine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBus
+
+
+@contextmanager
+def observe(trace: Optional[TraceBus] = None, metrics: Optional[MetricsRegistry] = None):
+    """Install default observability for simulators built in the block."""
+    engine.set_default_observability(trace=trace, metrics=metrics)
+    try:
+        yield
+    finally:
+        engine.set_default_observability()
+
+
+def git_sha(short: bool = True) -> Optional[str]:
+    """The repo's current commit, or None outside a git checkout."""
+    root = Path(__file__).resolve().parents[3]
+    args = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        proc = subprocess.run(
+            args, cwd=root, capture_output=True, text=True, timeout=5.0, check=False
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one experiment run."""
+
+    experiment: str
+    parameters: Dict = field(default_factory=dict)
+    fast: bool = False
+    started_at: str = ""
+    wall_seconds: float = 0.0
+    git_sha: Optional[str] = None
+    python: str = ""
+    platform: str = ""
+    events_executed: int = 0
+    events_per_second: float = 0.0
+    trace_events: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        sha = self.git_sha or "unknown"
+        rate = (
+            f"{self.events_per_second / 1e3:.0f}k events/s"
+            if self.events_per_second >= 1e3
+            else f"{self.events_per_second:.0f} events/s"
+        )
+        return (
+            f"run: {self.experiment} wall={self.wall_seconds:.2f}s "
+            f"events={self.events_executed} ({rate}) git={sha}"
+        )
+
+
+def build_manifest(
+    experiment: str,
+    parameters: Optional[Dict] = None,
+    fast: bool = False,
+    started_at: float = 0.0,
+    wall_seconds: float = 0.0,
+    events_executed: int = 0,
+    trace_events: int = 0,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from a completed run."""
+    return RunManifest(
+        experiment=experiment,
+        parameters=dict(parameters or {}),
+        fast=fast,
+        started_at=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(started_at)),
+        wall_seconds=wall_seconds,
+        git_sha=git_sha(),
+        python=platform.python_version(),
+        platform=platform.platform(),
+        events_executed=int(events_executed),
+        events_per_second=events_executed / wall_seconds if wall_seconds > 0 else 0.0,
+        trace_events=trace_events,
+    )
+
+
+def profile_call(fn, *args, top: int = 20, **kwargs):
+    """Run ``fn`` under cProfile; returns ``(result, summary_text)``."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, stream.getvalue()

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import trace as tr
 from repro.phy.channels import (
     DEFAULT_DATA_RATE_BPS,
     RATE_LADDER,
@@ -85,6 +86,9 @@ class Radio:
 
     def set_channel(self, channel: int) -> None:
         """Retune instantly. Drivers model reset latency via go_deaf()."""
+        trace = self.sim.trace
+        if trace is not None and channel != self.channel:
+            trace.emit(tr.PHY_CHANNEL_SET, self.sim.now, radio=self.name, channel=channel)
         self.channel = channel
 
     def go_deaf(self, duration: float) -> None:
@@ -148,6 +152,21 @@ class Medium:
         self.adjacent_channel_loss = adjacent_channel_loss
         self._radios: List[Radio] = []
         self._channel_busy_until: Dict[int, float] = {}
+        #: Cumulative transmit airtime per channel (s): the utilisation
+        #: view the metrics registry snapshots as ``phy.airtime_s.ch*``.
+        self.airtime_by_channel: Dict[int, float] = {}
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.add_source(self._metrics_source)
+
+    def _metrics_source(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "phy.frames_sent": sum(radio.frames_sent for radio in self._radios),
+            "phy.frames_dropped": sum(radio.frames_lost for radio in self._radios),
+        }
+        for channel, airtime in self.airtime_by_channel.items():
+            out[f"phy.airtime_s.ch{channel}"] = airtime
+        return out
 
     def register(self, radio: Radio) -> None:
         self._radios.append(radio)
@@ -172,6 +191,7 @@ class Medium:
         """
         channel = sender.channel
         airtime = self.airtime(frame)
+        self.airtime_by_channel[channel] = self.airtime_by_channel.get(channel, 0.0) + airtime
         busy_until = self._channel_busy_until.get(channel, 0.0)
         start = max(self.sim.now, busy_until)
         end = start + airtime
@@ -245,6 +265,12 @@ class Medium:
                 continue
             if self._rng.random() < self._loss_probability(channel, dist):
                 radio.frames_lost += 1
+                trace = self.sim.trace
+                if trace is not None:
+                    trace.emit(
+                        tr.PHY_FRAME_DROP, self.sim.now, channel=channel,
+                        dst=radio.address, reason="loss",
+                    )
                 continue
             radio._deliver(frame, self.rssi_at(dist))
 
@@ -268,6 +294,12 @@ class Medium:
             return
         if self._rng.random() < self._loss_probability(channel, dist):
             target.frames_lost += 1
+            trace = self.sim.trace
+            if trace is not None:
+                trace.emit(
+                    tr.PHY_FRAME_DROP, self.sim.now, channel=channel,
+                    dst=target.address, reason="loss", attempt=attempt,
+                )
             if attempt < self.max_arq_attempts and sender.channel == channel and not sender.deaf:
                 # 802.11 retries stay within the TXOP: the retry goes
                 # out immediately, ahead of anything queued behind it —
@@ -281,7 +313,12 @@ class Medium:
             return
         target._deliver(frame, self.rssi_at(dist))
 
-    @staticmethod
-    def _report_tx_failure(sender: Radio, frame: Any) -> None:
+    def _report_tx_failure(self, sender: Radio, frame: Any) -> None:
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.PHY_FRAME_DROP, self.sim.now, channel=sender.channel,
+                dst=getattr(frame, "dst", None), reason="arq-exhausted",
+            )
         if sender.on_unicast_failure is not None:
             sender.on_unicast_failure(frame)

@@ -19,28 +19,48 @@ class SimulationError(Exception):
     """Raised for misuse of the simulation engine."""
 
 
+#: Ambient observability defaults: newly constructed simulators adopt
+#: these as their ``trace`` / ``metrics`` handles. Installed by
+#: :func:`repro.obs.report.observe` around experiment runs so the
+#: CLI can observe simulators that experiments construct internally.
+_default_trace: Optional[Any] = None
+_default_metrics: Optional[Any] = None
+
+
+def set_default_observability(trace: Optional[Any] = None, metrics: Optional[Any] = None) -> None:
+    """Set (or, with no arguments, clear) the ambient trace/metrics."""
+    global _default_trace, _default_metrics
+    _default_trace = trace
+    _default_metrics = metrics
+
+
 class EventHandle:
     """A cancellable reference to a scheduled callback.
 
     Returned by :meth:`Simulator.schedule`. Cancelling a handle is O(1):
-    the heap entry is tombstoned and skipped when popped.
+    the heap entry is tombstoned and skipped when popped. ``cancelled``
+    means "will not / did not run via this handle any more": the engine
+    also sets it when the callback fires, which makes a late
+    :meth:`cancel` a no-op and keeps the simulator's O(1) tombstone
+    count honest without any hot-path bookkeeping.
     """
 
-    __slots__ = ("time", "cancelled", "_callback", "_args")
+    __slots__ = ("time", "cancelled", "_callback", "_args", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self, sim: "Simulator", time: float, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ):
         self.time = time
         self.cancelled = False
         self._callback = callback
         self._args = args
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call repeatedly."""
-        self.cancelled = True
-
-    def _fire(self) -> None:
         if not self.cancelled:
-            self._callback(*self._args)
+            self.cancelled = True
+            self._sim._cancelled_pending += 1
 
 
 class Event:
@@ -215,6 +235,30 @@ class Simulator:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._stopped = False
+        #: Cancelled entries still sitting in the heap as tombstones.
+        #: ``pending_events`` is ``len(heap) - this`` — maintained on
+        #: the rare paths (cancel, tombstone pop) so the per-event
+        #: schedule/fire path pays nothing for it.
+        self._cancelled_pending = 0
+        #: Total callbacks fired; feeds the metrics registry's
+        #: events-executed / events-per-second accounting.
+        self.events_executed = 0
+        #: Optional observability handles (see ``repro.obs``). ``None``
+        #: unless a bus/registry is attached explicitly or ambiently;
+        #: instrumentation points throughout the stack guard on that.
+        self.trace: Optional[Any] = _default_trace
+        self.metrics: Optional[Any] = _default_metrics
+        if self.trace is not None:
+            self.trace.attach(self)
+        if self.metrics is not None:
+            self.metrics.add_source(self._metrics_source)
+
+    def _metrics_source(self) -> dict:
+        return {
+            "sim.events_executed": self.events_executed,
+            "sim.pending_events": self.pending_events,
+            "sim.heap_depth": len(self._heap),
+        }
 
     # -- scheduling ------------------------------------------------------
 
@@ -222,7 +266,7 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        handle = EventHandle(self.now + delay, callback, args)
+        handle = EventHandle(self, self.now + delay, callback, args)
         heapq.heappush(self._heap, (handle.time, next(self._sequence), handle))
         return handle
 
@@ -253,11 +297,15 @@ class Simulator:
         while self._heap:
             time, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")
+            # Mark consumed: a later cancel() must be a no-op.
+            handle.cancelled = True
             self.now = time
-            handle._fire()
+            self.events_executed += 1
+            handle._callback(*handle._args)
             return True
         return False
 
@@ -283,11 +331,18 @@ class Simulator:
             time, _seq, handle = self._heap[0]
             if handle.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_pending -= 1
                 continue
             return time
         return None
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) scheduled events."""
-        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) scheduled events.
+
+        O(1): the heap length minus the tombstone count, maintained on
+        cancel and tombstone-pop only — the metrics registry samples
+        this on every snapshot, so it must stay off the hot path, and
+        the hot schedule/fire path must not pay for it either.
+        """
+        return len(self._heap) - self._cancelled_pending

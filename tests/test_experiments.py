@@ -197,6 +197,18 @@ class TestRunnerCli:
         with pytest.raises(KeyError):
             runner.run_experiment("fig99")
 
+    def test_unknown_override_raises_with_experiment_name(self):
+        with pytest.raises(TypeError, match=r"fig3.*beta_maxs"):
+            runner.run_experiment("fig3", beta_maxs=[1.0])
+
+    def test_override_error_lists_valid_parameters(self):
+        with pytest.raises(TypeError, match="beta_maxes"):
+            runner.run_experiment("fig3", not_a_parameter=1)
+
+    def test_valid_override_accepted(self):
+        result = runner.run_experiment("fig3", beta_maxes=[1.0, 5.0])
+        assert result["experiment"] == "fig3"
+
     def test_list_command(self, capsys):
         assert runner.main(["list"]) == 0
         out = capsys.readouterr().out

@@ -130,6 +130,31 @@ class TestThroughputRecorder:
         recorder = ThroughputRecorder(sim)
         assert recorder.average_throughput_kbytes_per_s() == 0.0
 
+    def test_final_partial_bucket_is_counted(self):
+        """A run ending mid-bucket still spent time in that bucket: a
+        delivery at 10.4 s of a run ending at 10.5 s must count."""
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.schedule(10.4, recorder.record, 100)
+        sim.schedule(10.5, lambda: None)  # pin sim.now to 10.5
+        sim.run()
+        # 11 buckets ([0,1) .. [10,10.5]), exactly one connected.
+        assert recorder.connectivity_fraction() == pytest.approx(1 / 11)
+
+    def test_sub_second_run_reports_connectivity(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.schedule(0.2, recorder.record, 100)
+        sim.run()
+        assert recorder.connectivity_fraction() == pytest.approx(1.0)
+
+    def test_sub_second_silent_run_is_disconnected(self):
+        sim = Simulator()
+        recorder = ThroughputRecorder(sim)
+        sim.schedule(0.4, lambda: None)
+        sim.run()
+        assert recorder.connectivity_fraction() == 0.0
+
 
 class TestJoinLog:
     def test_open_record_appends(self):

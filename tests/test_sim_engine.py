@@ -291,3 +291,42 @@ class TestDeterminism:
             return trace
 
         assert build() == build()
+
+
+class TestPendingEventsBookkeeping:
+    """The O(1) live-entry counter must survive every cancel/fire path."""
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_go_negative(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_counter_tracks_mixed_workload(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_events == 5
+        sim.run(until=3.5)  # live handles sit at t=2,4,6,8,10; only t=2 fires
+        assert sim.pending_events == 4
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_events_executed_counts_fired_callbacks(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        cancelled = sim.schedule(0.05, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_executed == 5
