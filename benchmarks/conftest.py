@@ -4,9 +4,27 @@ Each benchmark regenerates one paper artifact (scaled down so the full
 suite completes in minutes) and prints the same rows/series the paper
 reports. Simulations are deterministic, so a single round measures the
 cost faithfully; `once()` wraps ``benchmark.pedantic`` accordingly.
+
+``--exec-jobs N`` sets the worker count used by the ``repro.exec``
+benchmarks (sequential-vs-sharded comparisons); default 2 so they are
+meaningful on any CI box.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--exec-jobs",
+        type=int,
+        default=2,
+        help="worker processes for repro.exec shard benchmarks",
+    )
+
+
+@pytest.fixture
+def exec_jobs(request):
+    return request.config.getoption("--exec-jobs")
 
 
 @pytest.fixture

@@ -1,0 +1,31 @@
+"""Sequential vs sharded execution of the same artifact (Fig. 6).
+
+The pair quantifies what ``repro.exec`` buys: the sequential benchmark
+is the single-process baseline, the sharded one fans the same four
+cases out over ``--exec-jobs`` workers (cache disabled so simulation
+cost is actually measured). Results must be identical — the speedup is
+the only thing allowed to differ.
+"""
+
+from repro.exec import execute_experiment
+from repro.experiments import fig6_dhcp
+
+CASE_KWARGS = dict(seeds=(1,), duration=120.0)
+
+
+def test_bench_fig6_sequential(once):
+    result = once(fig6_dhcp.run, **CASE_KWARGS)
+    fig6_dhcp.print_report(result)
+
+
+def test_bench_fig6_sharded(once, exec_jobs):
+    execution = once(
+        execute_experiment,
+        "fig6",
+        overrides=CASE_KWARGS,
+        jobs=exec_jobs,
+        cache=None,
+    )
+    fig6_dhcp.print_report(execution.result)
+    print(execution.summary_line())
+    assert execution.result == fig6_dhcp.run(**CASE_KWARGS)

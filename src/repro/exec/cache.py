@@ -1,0 +1,132 @@
+"""Content-addressed on-disk cache of shard results.
+
+A shard's output is fully determined by (experiment id, shard key,
+resolved parameters, code version): simulations are deterministic per
+seed, and the PR-1 run manifests already established the git SHA as the
+code-version key. The cache therefore addresses each result by the
+SHA-256 of exactly those fields — a warm rerun of an unchanged
+evaluation skips simulation entirely, and *any* change to a parameter,
+a seed, or the checked-out commit changes the key and misses.
+
+Layout: ``<root>/<experiment>/<digest>.pkl``, one pickle per shard,
+written atomically (temp file + ``os.replace``) so a crashed or
+concurrent run can never leave a truncated entry behind. Unreadable
+entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import is_dataclass, asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Bump when the on-disk entry format changes: stale formats then miss
+#: instead of unpickling garbage.
+CACHE_FORMAT = 1
+
+
+def canonical_text(value: Any) -> str:
+    """A deterministic text form of a parameter structure.
+
+    Dict keys are sorted, tuples/sets collapse to lists, dataclasses to
+    their field dicts; anything else falls back to ``repr``. Two
+    parameter sets get the same text iff they are semantically equal,
+    independent of dict insertion order or tuple-vs-list spelling.
+    """
+    return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(item) for item in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return {type(value).__name__: _canonical(asdict(value))}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class ResultCache:
+    """Content-addressed shard-result store under one root directory."""
+
+    def __init__(self, root, code_version: Optional[str] = None):
+        self.root = Path(root)
+        if code_version is None:
+            from repro.obs.report import git_sha
+
+            code_version = git_sha() or "unknown"
+        self.code_version = code_version
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def key(self, experiment: str, shard_key: str, params: Dict[str, Any]) -> str:
+        material = canonical_text(
+            {
+                "format": CACHE_FORMAT,
+                "experiment": experiment,
+                "shard": shard_key,
+                "params": params,
+                "code": self.code_version,
+            }
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, experiment: str, key: str) -> Path:
+        return self.root / experiment / f"{key}.pkl"
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, experiment: str, shard_key: str, params: Dict[str, Any]) -> Tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss."""
+        path = self.path_for(experiment, self.key(experiment, shard_key, params))
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            # Truncated/stale entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, result
+
+    def put(self, experiment: str, shard_key: str, params: Dict[str, Any], result: Any) -> Path:
+        """Store ``result`` atomically; returns the entry path."""
+        path = self.path_for(experiment, self.key(experiment, shard_key, params))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -1,0 +1,218 @@
+"""Campaign orchestration: experiments → shard plans → merged results.
+
+:func:`execute_experiment` is the exec-engine equivalent of
+``runner.run_experiment``: it resolves an experiment id and parameter
+overrides, builds a :class:`~repro.exec.shards.ShardPlan`, executes it
+(pool / inline / cache per the :class:`~repro.exec.workers.ExecPolicy`),
+and merges shard results deterministically.
+
+:func:`run_campaign` fans the whole evaluation (or any subset) out over
+one shared policy and cache, streams per-shard progress, and assembles
+the aggregated campaign manifest (one PR-1 run manifest per experiment
+plus campaign-level totals) for the report writer in ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.shards import ShardPlan, build_plan
+from repro.exec.workers import (
+    SOURCE_CACHE,
+    SOURCE_INLINE,
+    SOURCE_POOL,
+    ExecPolicy,
+    ShardOutcome,
+    execute_shards,
+)
+
+
+@dataclass
+class ExperimentExecution:
+    """One experiment's merged result plus per-shard accounting."""
+
+    name: str
+    result: Dict
+    plan: ShardPlan
+    outcomes: List[ShardOutcome]
+    parameters: Dict
+    jobs: int
+    wall_seconds: float
+
+    @property
+    def shards_total(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, source: str) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.source == source)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.count(SOURCE_CACHE)
+
+    def summary_line(self) -> str:
+        return (
+            f"exec: {self.name} shards={self.shards_total} jobs={self.jobs}"
+            f" cached={self.cache_hits}/{self.shards_total}"
+            f" pool={self.count(SOURCE_POOL)} inline={self.count(SOURCE_INLINE)}"
+            f" wall={self.wall_seconds:.2f}s"
+        )
+
+
+def execute_experiment(
+    name: str,
+    fast: bool = False,
+    overrides: Optional[Dict] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[ExecPolicy] = None,
+    on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
+) -> ExperimentExecution:
+    """Run one experiment through the exec engine; returns its result
+    dict (identical to ``run_experiment``'s) plus shard accounting."""
+    from repro.experiments import runner  # runner imports us lazily; avoid a cycle
+
+    entry = runner.REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(f"unknown experiment: {name!r} (try 'list')")
+    module = importlib.import_module(entry["module"])
+    overrides = dict(overrides or {})
+    runner._validate_overrides(name, module, overrides)
+    kwargs = dict(entry["fast"]) if fast else {}
+    kwargs.update(overrides)
+
+    if policy is None:
+        policy = ExecPolicy(jobs=jobs)
+    else:
+        policy.jobs = jobs
+
+    plan = build_plan(name, module, kwargs)
+    started = time.perf_counter()
+    outcomes = execute_shards(
+        plan.module_name,
+        plan.func_name,
+        plan.shards,
+        policy=policy,
+        cache=cache,
+        experiment=name,
+        on_outcome=on_outcome,
+    )
+    result = plan.merge([outcome.result for outcome in outcomes])
+    wall = time.perf_counter() - started
+    return ExperimentExecution(
+        name=name,
+        result=result,
+        plan=plan,
+        outcomes=outcomes,
+        parameters=kwargs,
+        jobs=policy.jobs,
+        wall_seconds=wall,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, ready for reporting."""
+
+    executions: List[ExperimentExecution] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+    cache_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def shards_total(self) -> int:
+        return sum(execution.shards_total for execution in self.executions)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(execution.cache_hits for execution in self.executions)
+
+    def summary_line(self) -> str:
+        cached = f" cached={self.cache_hits}/{self.shards_total}" if self.cache_stats else ""
+        return (
+            f"campaign: {len(self.executions)} experiments"
+            f" shards={self.shards_total}{cached} jobs={self.jobs}"
+            f" wall={self.wall_seconds:.2f}s"
+        )
+
+
+def run_campaign(
+    names: Sequence[str],
+    fast: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[ExecPolicy] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    on_experiment: Optional[Callable[[ExperimentExecution], None]] = None,
+) -> CampaignResult:
+    """Fan a list of experiments out through one shared policy/cache.
+
+    ``progress`` receives one line per completed shard and per
+    experiment boundary; ``on_experiment`` fires after each experiment
+    merges (the CLI prints the paper report there).
+    """
+    campaign = CampaignResult(jobs=jobs, cache_stats=None)
+    started = time.perf_counter()
+    for position, name in enumerate(names, start=1):
+        if progress is not None:
+            progress(f"[{position}/{len(names)}] {name}: planning")
+        done = 0
+
+        def on_outcome(outcome: ShardOutcome, name: str = name) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(
+                    f"  {name} shard {outcome.shard.key} -> {outcome.source}"
+                    f" ({done} done, attempts={outcome.attempts},"
+                    f" {outcome.wall_seconds:.2f}s)"
+                )
+
+        execution = execute_experiment(
+            name,
+            fast=fast,
+            jobs=jobs,
+            cache=cache,
+            policy=policy,
+            on_outcome=on_outcome,
+        )
+        campaign.executions.append(execution)
+        if progress is not None:
+            progress(f"  {execution.summary_line()}")
+        if on_experiment is not None:
+            on_experiment(execution)
+    campaign.wall_seconds = time.perf_counter() - started
+    campaign.cache_stats = cache.stats() if cache is not None else None
+    return campaign
+
+
+def campaign_manifest(campaign: CampaignResult, fast: bool, started_at: float) -> Dict:
+    """The aggregated obs manifest: per-experiment manifests + totals."""
+    from repro.obs.report import build_campaign_manifest, build_manifest
+
+    manifests = [
+        build_manifest(
+            experiment=execution.name,
+            parameters=execution.parameters,
+            fast=fast,
+            started_at=started_at,
+            wall_seconds=execution.wall_seconds,
+            jobs=execution.jobs,
+            shards_total=execution.shards_total,
+            shards_cached=execution.cache_hits,
+        )
+        for execution in campaign.executions
+    ]
+    return build_campaign_manifest(
+        manifests,
+        started_at=started_at,
+        wall_seconds=campaign.wall_seconds,
+        jobs=campaign.jobs,
+        shards_total=campaign.shards_total,
+        shards_cached=campaign.cache_hits,
+        cache_stats=campaign.cache_stats,
+    )

@@ -1,0 +1,113 @@
+"""The shard protocol: how experiments expose independent work units.
+
+Every evaluation artifact in this repo is a loop over *independent*
+simulations — per-seed vehicular runs, per-configuration Table rows,
+per-grid-point model evaluations — whose outputs are combined by pure
+post-processing (CDFs, means, row assembly). That structure is exactly
+what parallel execution needs, so it is made explicit: an experiment
+module opts in by defining three module-level functions
+
+``shards(**kwargs) -> List[Shard]``
+    Enumerate the run's independent units, in a stable order. Pure:
+    no simulation happens here. ``kwargs`` are the experiment's own
+    ``run()`` parameters.
+
+``run_shard(**shard.params) -> Any``
+    Execute one unit and return a picklable result. This is the only
+    function that may run in a worker process, so its parameters and
+    return value must survive ``pickle``.
+
+``merge(results, **kwargs) -> Dict``
+    Combine per-shard results — given in ``shards()`` order — into the
+    experiment's result dict. Pure and deterministic: the sequential
+    ``run()`` is *defined* as ``merge(map(run_shard, shards))`` in the
+    opted-in modules, which is what makes parallel output byte-identical
+    to sequential output.
+
+Modules that do not opt in still execute through the same machinery via
+the *whole-run fallback*: a single shard that calls ``run(**kwargs)``
+and an identity merge. They gain result caching and the campaign
+summary, just not intra-experiment parallelism.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+#: Shard key of the whole-run fallback.
+WHOLE_RUN = "whole-run"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of an experiment.
+
+    ``key`` is a stable human-readable id ("case=0/seed=2") used for
+    progress reporting and as part of the cache key; ``params`` are the
+    keyword arguments for the module's ``run_shard`` and must be
+    picklable.
+    """
+
+    key: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ShardPlan:
+    """A resolved execution plan for one experiment run."""
+
+    experiment: str
+    module_name: str
+    func_name: str
+    shards: List[Shard]
+    merge: Callable[[Sequence[Any]], Any]
+    sharded: bool
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def supports_sharding(module) -> bool:
+    """True if ``module`` implements the full shard protocol."""
+    return all(callable(getattr(module, name, None)) for name in ("shards", "run_shard", "merge"))
+
+
+def build_plan(experiment: str, module, kwargs: Dict[str, Any]) -> ShardPlan:
+    """Resolve ``experiment`` + parameters into a :class:`ShardPlan`.
+
+    Opted-in modules contribute their own shards and merge; everything
+    else gets the whole-run fallback (one shard, identity merge).
+    """
+    if supports_sharding(module):
+        shards = list(module.shards(**kwargs))
+        if not shards:
+            raise ValueError(f"experiment {experiment!r}: shards(**{kwargs!r}) returned no shards")
+        return ShardPlan(
+            experiment=experiment,
+            module_name=module.__name__,
+            func_name="run_shard",
+            shards=shards,
+            merge=lambda results: module.merge(list(results), **kwargs),
+            sharded=True,
+        )
+    return ShardPlan(
+        experiment=experiment,
+        module_name=module.__name__,
+        func_name="run",
+        shards=[Shard(key=WHOLE_RUN, params=dict(kwargs))],
+        merge=lambda results: results[0],
+        sharded=False,
+    )
+
+
+def invoke_shard(module_name: str, func_name: str, params: Dict[str, Any]) -> Any:
+    """Import and call one shard function.
+
+    Module-level on purpose: this is the entry point submitted to
+    worker processes, so it must be picklable by reference and
+    self-contained (the worker re-imports the experiment module).
+    """
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)(**params)

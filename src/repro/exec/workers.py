@@ -1,0 +1,241 @@
+"""Fault-tolerant shard execution: worker pool, retries, fallback.
+
+Execution strategy, in order of preference:
+
+1. **Cache** — shards whose key is already in the :class:`ResultCache`
+   never execute at all.
+2. **Worker pool** — remaining shards fan out over a
+   ``ProcessPoolExecutor`` (``jobs`` workers). Each shard gets a
+   per-shard timeout and a bounded number of retries with exponential
+   backoff; a shard that keeps failing in the pool gets one final
+   in-process attempt before the run is declared failed.
+3. **In-process sequential** — used outright for ``jobs <= 1`` or a
+   single pending shard (no pool overhead), and as the graceful
+   degradation path when the pool dies (``BrokenProcessPool``: a worker
+   was OOM-killed, segfaulted, or the host refuses new processes).
+
+Whatever the path, outcomes are returned **in shard order**, never in
+completion order — together with the experiments' pure ``merge`` this
+makes parallel output byte-identical to sequential output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.shards import Shard, invoke_shard
+
+#: How a shard's result was obtained.
+SOURCE_CACHE = "cache"
+SOURCE_POOL = "pool"
+SOURCE_INLINE = "inline"
+
+
+class ShardError(RuntimeError):
+    """A shard failed on every attempt, including the in-process one."""
+
+    def __init__(self, experiment: str, shard: Shard, attempts: int, cause: BaseException):
+        super().__init__(
+            f"experiment {experiment!r} shard {shard.key!r} failed after "
+            f"{attempts} attempt(s): {cause!r}"
+        )
+        self.experiment = experiment
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class ExecPolicy:
+    """Knobs of the execution strategy."""
+
+    jobs: int = 1
+    #: Seconds a single pool attempt may take; ``None`` disables the
+    #: timeout. A timed-out attempt counts as a failure and is retried
+    #: (the stuck worker is abandoned at shutdown, not joined).
+    shard_timeout: Optional[float] = None
+    #: Retries *after* the first attempt, per shard.
+    max_retries: int = 2
+    #: Backoff before retry ``n`` is ``backoff_base * 2**(n-1)`` seconds.
+    backoff_base: float = 0.25
+    #: Injectable for tests; never called when ``backoff_base == 0``.
+    sleep: Callable[[float], None] = field(default=time.sleep)
+
+    def backoff(self, retry: int) -> float:
+        return self.backoff_base * (2 ** max(retry - 1, 0))
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's result plus how it was obtained."""
+
+    shard: Shard
+    result: Any
+    source: str
+    attempts: int
+    wall_seconds: float
+
+
+def execute_shards(
+    module_name: str,
+    func_name: str,
+    shards: Sequence[Shard],
+    policy: Optional[ExecPolicy] = None,
+    cache: Optional[ResultCache] = None,
+    experiment: str = "",
+    on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
+) -> List[ShardOutcome]:
+    """Run every shard; returns outcomes in shard order.
+
+    Raises :class:`ShardError` if any shard fails on all attempts —
+    partial evaluations are worse than loud failures.
+    """
+    policy = policy or ExecPolicy()
+    outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
+
+    def finish(index: int, outcome: ShardOutcome) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    pending: List[int] = []
+    for index, shard in enumerate(shards):
+        if cache is not None:
+            hit, result = cache.get(experiment, shard.key, shard.params)
+            if hit:
+                finish(index, ShardOutcome(shard, result, SOURCE_CACHE, 0, 0.0))
+                continue
+        pending.append(index)
+
+    if pending:
+        if policy.jobs <= 1 or len(pending) == 1:
+            _run_inline(module_name, func_name, shards, pending, policy, experiment, finish)
+        else:
+            _run_pooled(module_name, func_name, shards, pending, policy, experiment, finish)
+
+    if cache is not None:
+        for outcome in outcomes:
+            if outcome is not None and outcome.source != SOURCE_CACHE:
+                cache.put(experiment, outcome.shard.key, outcome.shard.params, outcome.result)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# -- strategies ---------------------------------------------------------
+
+
+def _run_inline(
+    module_name: str,
+    func_name: str,
+    shards: Sequence[Shard],
+    pending: Sequence[int],
+    policy: ExecPolicy,
+    experiment: str,
+    finish: Callable[[int, ShardOutcome], None],
+    prior_attempts: int = 0,
+) -> None:
+    """Sequential in-process execution with retry/backoff."""
+    for index in pending:
+        shard = shards[index]
+        attempts = prior_attempts
+        started = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                result = invoke_shard(module_name, func_name, shard.params)
+            except Exception as exc:
+                if attempts - prior_attempts > policy.max_retries:
+                    raise ShardError(experiment, shard, attempts, exc) from exc
+                backoff = policy.backoff(attempts - prior_attempts)
+                if backoff > 0:
+                    policy.sleep(backoff)
+                continue
+            wall = time.perf_counter() - started
+            finish(index, ShardOutcome(shard, result, SOURCE_INLINE, attempts, wall))
+            break
+
+
+def _run_pooled(
+    module_name: str,
+    func_name: str,
+    shards: Sequence[Shard],
+    pending: Sequence[int],
+    policy: ExecPolicy,
+    experiment: str,
+    finish: Callable[[int, ShardOutcome], None],
+) -> None:
+    """Pool execution with per-shard timeout, retry, and degradation."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(policy.jobs, len(pending)))
+    except (OSError, ValueError):
+        # The host refuses worker processes; degrade immediately.
+        _run_inline(module_name, func_name, shards, pending, policy, experiment, finish)
+        return
+
+    pool_dead = False
+    started: Dict[int, float] = {}
+    futures: Dict[int, Any] = {}
+    try:
+        for index in pending:
+            started[index] = time.perf_counter()
+            futures[index] = pool.submit(
+                invoke_shard, module_name, func_name, shards[index].params
+            )
+        for index in pending:
+            shard = shards[index]
+            attempts = 0
+            while True:
+                if pool_dead:
+                    # The pool is gone: run this shard (and implicitly
+                    # every later one) in-process. Attempts so far still
+                    # count toward the reported total.
+                    _run_inline(
+                        module_name,
+                        func_name,
+                        shards,
+                        [index],
+                        policy,
+                        experiment,
+                        finish,
+                        prior_attempts=attempts,
+                    )
+                    break
+                attempts += 1
+                try:
+                    result = futures[index].result(timeout=policy.shard_timeout)
+                    wall = time.perf_counter() - started[index]
+                    finish(index, ShardOutcome(shard, result, SOURCE_POOL, attempts, wall))
+                    break
+                except BrokenExecutor:
+                    pool_dead = True
+                    continue
+                except FutureTimeoutError as exc:
+                    failure: BaseException = exc
+                except Exception as exc:
+                    failure = exc
+                if attempts > policy.max_retries:
+                    # Last resort before giving up: one in-process try.
+                    try:
+                        result = invoke_shard(module_name, func_name, shard.params)
+                    except Exception as final_exc:
+                        raise ShardError(experiment, shard, attempts + 1, final_exc) from final_exc
+                    wall = time.perf_counter() - started[index]
+                    finish(index, ShardOutcome(shard, result, SOURCE_INLINE, attempts + 1, wall))
+                    break
+                backoff = policy.backoff(attempts)
+                if backoff > 0:
+                    policy.sleep(backoff)
+                try:
+                    futures[index] = pool.submit(
+                        invoke_shard, module_name, func_name, shard.params
+                    )
+                except BrokenExecutor:
+                    pool_dead = True
+    finally:
+        # wait=False: a worker stuck past its shard timeout must not
+        # stall the (already complete) run at shutdown.
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.config import SpiderConfig
+from repro.exec.shards import Shard
 from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import empirical_cdf, median
 
@@ -45,21 +46,58 @@ CASES = (
 )
 
 
-def run(
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
+    seeds: Sequence[int] = (1, 2, 3),
+    duration: float = 240.0,
+    cases: Sequence = CASES,
+) -> List[Shard]:
+    return [
+        Shard(
+            key=f"case={label}/seed={seed}",
+            params={
+                "channels": tuple(channels),
+                "interfaces": interfaces,
+                "link_timeout": link_timeout,
+                "dhcp_timeout": dhcp_timeout,
+                "seed": seed,
+                "duration": duration,
+            },
+        )
+        for label, channels, interfaces, link_timeout, dhcp_timeout in cases
+        for seed in seeds
+    ]
+
+
+def run_shard(
+    channels: Sequence[int],
+    interfaces: int,
+    link_timeout: float,
+    dhcp_timeout: float,
+    seed: int,
+    duration: float,
+) -> List[float]:
+    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    driver = scenario.make_spider(
+        _case_config(channels, interfaces, link_timeout, dhcp_timeout)
+    )
+    scenario.run(driver, duration)
+    return driver.join_log.join_times()
+
+
+def merge(
+    results: Sequence[List[float]],
     seeds: Sequence[int] = (1, 2, 3),
     duration: float = 240.0,
     cases: Sequence = CASES,
 ) -> Dict:
     series = []
-    for label, channels, interfaces, link_timeout, dhcp_timeout in cases:
+    for index, (label, channels, _ifaces, _link_timeout, _dhcp_timeout) in enumerate(cases):
         times: List[float] = []
-        for seed in seeds:
-            scenario = VehicularScenario(ScenarioConfig(seed=seed))
-            driver = scenario.make_spider(
-                _case_config(channels, interfaces, link_timeout, dhcp_timeout)
-            )
-            scenario.run(driver, duration)
-            times.extend(driver.join_log.join_times())
+        for per_seed in results[index * len(seeds) : (index + 1) * len(seeds)]:
+            times.extend(per_seed)
         xs, ys = empirical_cdf(times)
         series.append(
             {
@@ -72,6 +110,15 @@ def run(
             }
         )
     return {"experiment": "fig12", "series": series}
+
+
+def run(
+    seeds: Sequence[int] = (1, 2, 3),
+    duration: float = 240.0,
+    cases: Sequence = CASES,
+) -> Dict:
+    results = [run_shard(**shard.params) for shard in shards(seeds, duration, cases)]
+    return merge(results, seeds=seeds, duration=duration, cases=cases)
 
 
 def print_report(result: Dict) -> None:

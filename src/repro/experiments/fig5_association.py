@@ -13,8 +13,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SpiderConfig
+from repro.exec.shards import Shard
 from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import cdf_at, empirical_cdf, median
+
+DEFAULT_SEEDS = (1, 2, 3)
 
 
 def schedule_for(fraction: float, channel: int = 6) -> Dict[int, float]:
@@ -79,15 +82,56 @@ def collect_join_samples(
     }
 
 
-def run(
+def combine_samples(per_seed: Sequence[Dict]) -> Dict:
+    """Fold per-seed sample dicts (in seed order) into one.
+
+    Equivalent to ``collect_join_samples`` over the whole seed list:
+    lists concatenate in order, counters sum — the pure half of the
+    shard protocol shared by Fig. 5 and Fig. 6.
+    """
+    combined: Dict = {}
+    for samples in per_seed:
+        for key, value in samples.items():
+            if isinstance(value, list):
+                combined.setdefault(key, []).extend(value)
+            else:
+                combined[key] = combined.get(key, 0) + value
+    return combined
+
+
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
+    fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
+    seeds: Optional[Sequence[int]] = None,
+    duration: float = 240.0,
+) -> List[Shard]:
+    seeds = list(seeds or DEFAULT_SEEDS)
+    return [
+        Shard(
+            key=f"fraction={fraction}/seed={seed}",
+            params={"fraction": fraction, "seed": seed, "duration": duration},
+        )
+        for fraction in fractions
+        for seed in seeds
+    ]
+
+
+def run_shard(fraction: float, seed: int, duration: float) -> Dict:
+    return collect_join_samples(fraction, [seed], duration)
+
+
+def merge(
+    results: Sequence[Dict],
     fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
     seeds: Optional[Sequence[int]] = None,
     duration: float = 240.0,
 ) -> Dict:
-    seeds = list(seeds or (1, 2, 3))
+    seeds = list(seeds or DEFAULT_SEEDS)
     series = []
-    for fraction in fractions:
-        samples = collect_join_samples(fraction, seeds, duration)
+    for index, fraction in enumerate(fractions):
+        samples = combine_samples(results[index * len(seeds) : (index + 1) * len(seeds)])
         times = samples["association_times"]
         xs, ys = empirical_cdf(times)
         series.append(
@@ -101,6 +145,15 @@ def run(
             }
         )
     return {"experiment": "fig5", "series": series}
+
+
+def run(
+    fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
+    seeds: Optional[Sequence[int]] = None,
+    duration: float = 240.0,
+) -> Dict:
+    results = [run_shard(**shard.params) for shard in shards(fractions, seeds, duration)]
+    return merge(results, fractions=fractions, seeds=seeds, duration=duration)
 
 
 def print_report(result: Dict) -> None:

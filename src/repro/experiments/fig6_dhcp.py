@@ -9,9 +9,14 @@ f = 25% the accumulated off-channel time degrades DHCP badly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.fig5_association import collect_join_samples
+from repro.exec.shards import Shard
+from repro.experiments.fig5_association import (
+    DEFAULT_SEEDS,
+    collect_join_samples,
+    combine_samples,
+)
 from repro.metrics.stats import empirical_cdf, median
 
 #: (fraction on channel 6, dhcp retransmit timer, label)
@@ -23,17 +28,46 @@ CASES = (
 )
 
 
-def run(
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
+    cases: Sequence = CASES,
+    seeds: Optional[Sequence[int]] = None,
+    duration: float = 240.0,
+) -> List[Shard]:
+    seeds = list(seeds or DEFAULT_SEEDS)
+    return [
+        Shard(
+            key=f"fraction={fraction}/dhcp={dhcp_timeout}/seed={seed}",
+            params={
+                "fraction": fraction,
+                "dhcp_timeout": dhcp_timeout,
+                "seed": seed,
+                "duration": duration,
+            },
+        )
+        for fraction, dhcp_timeout, _label in cases
+        for seed in seeds
+    ]
+
+
+def run_shard(fraction: float, dhcp_timeout: float, seed: int, duration: float) -> Dict:
+    return collect_join_samples(
+        fraction, [seed], duration, dhcp_retry_timeout=dhcp_timeout
+    )
+
+
+def merge(
+    results: Sequence[Dict],
     cases: Sequence = CASES,
     seeds: Optional[Sequence[int]] = None,
     duration: float = 240.0,
 ) -> Dict:
-    seeds = list(seeds or (1, 2, 3))
+    seeds = list(seeds or DEFAULT_SEEDS)
     series = []
-    for fraction, dhcp_timeout, label in cases:
-        samples = collect_join_samples(
-            fraction, seeds, duration, dhcp_retry_timeout=dhcp_timeout
-        )
+    for index, (fraction, dhcp_timeout, label) in enumerate(cases):
+        samples = combine_samples(results[index * len(seeds) : (index + 1) * len(seeds)])
         times = samples["join_times"]
         xs, ys = empirical_cdf(times)
         total = samples["successes"] + samples["dhcp_failures"]
@@ -50,6 +84,15 @@ def run(
             }
         )
     return {"experiment": "fig6", "series": series}
+
+
+def run(
+    cases: Sequence = CASES,
+    seeds: Optional[Sequence[int]] = None,
+    duration: float = 240.0,
+) -> Dict:
+    results = [run_shard(**shard.params) for shard in shards(cases, seeds, duration)]
+    return merge(results, cases=cases, seeds=seeds, duration=duration)
 
 
 def print_report(result: Dict) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.config import SpiderConfig
+from repro.exec.shards import Shard
 from repro.experiments.common import LabScenario
 from repro.model.join_model import JoinModelParams, join_success_probability
 
@@ -64,12 +65,33 @@ def measure_system_join_probability(
     return successes / trials
 
 
-def run(
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
     fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
     within: float = 4.0,
     trials: int = 40,
     beta_min: float = 0.5,
     beta_max: float = 4.0,
+) -> List[Shard]:
+    return [
+        Shard(
+            key=f"fraction={fraction}",
+            params={
+                "fraction": fraction,
+                "within": within,
+                "trials": trials,
+                "beta_min": beta_min,
+                "beta_max": beta_max,
+            },
+        )
+        for fraction in fractions
+    ]
+
+
+def run_shard(
+    fraction: float, within: float, trials: int, beta_min: float, beta_max: float
 ) -> Dict:
     params = JoinModelParams(
         period=0.5,
@@ -78,21 +100,48 @@ def run(
         beta_max=beta_max,
         loss_rate=0.02,  # the lab propagation floor
     )
-    rows: List[Dict] = []
-    for fraction in fractions:
-        model = join_success_probability(params, fraction, within)
-        system = measure_system_join_probability(
-            fraction, within, trials, beta_min, beta_max
-        )
-        rows.append(
-            {
-                "fraction": fraction,
-                "model": model,
-                "system": system,
-                "gap": model - system,
-            }
-        )
-    return {"experiment": "model_vs_system", "within": within, "rows": rows}
+    model = join_success_probability(params, fraction, within)
+    system = measure_system_join_probability(
+        fraction, within, trials, beta_min, beta_max
+    )
+    return {
+        "fraction": fraction,
+        "model": model,
+        "system": system,
+        "gap": model - system,
+    }
+
+
+def merge(
+    results: Sequence[Dict],
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    within: float = 4.0,
+    trials: int = 40,
+    beta_min: float = 0.5,
+    beta_max: float = 4.0,
+) -> Dict:
+    return {"experiment": "model_vs_system", "within": within, "rows": list(results)}
+
+
+def run(
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    within: float = 4.0,
+    trials: int = 40,
+    beta_min: float = 0.5,
+    beta_max: float = 4.0,
+) -> Dict:
+    results = [
+        run_shard(**shard.params)
+        for shard in shards(fractions, within, trials, beta_min, beta_max)
+    ]
+    return merge(
+        results,
+        fractions=fractions,
+        within=within,
+        trials=trials,
+        beta_min=beta_min,
+        beta_max=beta_max,
+    )
 
 
 def print_report(result: Dict) -> None:

@@ -4,6 +4,19 @@
 ``spider-repro run fig2 tab2 …`` regenerates them (``all`` for the
 full evaluation). ``--fast`` shrinks durations/samples for smoke runs.
 
+Parallel execution & caching (see ``repro.exec`` and
+``docs: Parallel execution``):
+
+- ``--jobs N`` fans an experiment's independent shards (per-seed runs,
+  per-configuration rows) out over N worker processes; output is
+  byte-identical to the sequential run;
+- ``--cache-dir PATH`` (default ``.spider-cache`` once any exec flag is
+  used) caches shard results keyed on experiment + parameters + seed +
+  git SHA, so warm reruns skip simulation; ``--no-cache`` disables it;
+- ``spider-repro campaign [ids|all]`` regenerates the whole evaluation
+  through one shared worker pool and cache, with per-shard progress and
+  an aggregated manifest (``--manifest PATH``).
+
 Observability flags (see ``docs: Observability``):
 
 - ``--trace [PATH]`` records every structured trace event of the run
@@ -13,7 +26,9 @@ Observability flags (see ``docs: Observability``):
   cumulative-time table.
 
 Any of the three also prints a one-line run manifest (parameters, git
-SHA, wall-clock, simulated-event throughput).
+SHA, wall-clock, simulated-event throughput). Trace/metrics need the
+simulators in-process, so they force shards inline (``--jobs`` is
+ignored with a note).
 """
 
 from __future__ import annotations
@@ -21,6 +36,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import os
 import sys
 import time
 from typing import Dict, Optional
@@ -173,6 +189,23 @@ def print_experiment(name: str, result) -> None:
     module.print_report(result)
 
 
+#: Default on-disk location of the shard-result cache once any exec
+#: flag (--jobs/--cache-dir/--no-cache) engages ``repro.exec``.
+DEFAULT_CACHE_DIR = ".spider-cache"
+
+
+def _exec_requested(args) -> bool:
+    return args.jobs is not None or args.cache_dir is not None or args.no_cache
+
+
+def _make_cache(args):
+    if args.no_cache:
+        return None
+    from repro.exec import ResultCache
+
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
 def _run_observed(name: str, args) -> None:
     """Run one experiment with the requested observability attached."""
     from repro.obs.metrics import MetricsRegistry
@@ -180,9 +213,30 @@ def _run_observed(name: str, args) -> None:
     from repro.obs.trace import TraceBus, TraceRecorder, write_jsonl
 
     observed = args.trace is not None or args.metrics or args.profile
+    exec_mode = _exec_requested(args)
+    execution = None
+
+    def compute():
+        """The experiment run, through repro.exec when requested."""
+        nonlocal execution
+        if not exec_mode:
+            return run_experiment(name, fast=args.fast)
+        from repro.exec import execute_experiment
+
+        jobs = args.jobs or 1
+        if observed and jobs > 1:
+            # Trace buses and metrics registries live in this process;
+            # worker processes would simulate where they can't be seen.
+            print("note: --trace/--metrics/--profile run shards in-process; ignoring --jobs")
+            jobs = 1
+        execution = execute_experiment(name, fast=args.fast, jobs=jobs, cache=_make_cache(args))
+        return execution.result
+
     if not observed:
-        result = run_experiment(name, fast=args.fast)
+        result = compute()
         print_experiment(name, result)
+        if execution is not None:
+            print(execution.summary_line())
         return
 
     bus: Optional[TraceBus] = None
@@ -195,12 +249,14 @@ def _run_observed(name: str, args) -> None:
     started = time.time()
     with observe(trace=bus, metrics=registry):
         if args.profile:
-            result, profile_text = profile_call(run_experiment, name, fast=args.fast)
+            result, profile_text = profile_call(compute)
         else:
-            result, profile_text = run_experiment(name, fast=args.fast), None
+            result, profile_text = compute(), None
     wall = time.time() - started
 
     print_experiment(name, result)
+    if execution is not None:
+        print(execution.summary_line())
     snapshot = registry.snapshot()
     if args.metrics:
         print()
@@ -222,6 +278,9 @@ def _run_observed(name: str, args) -> None:
         wall_seconds=wall,
         events_executed=int(snapshot.get("sim.events_executed", 0)),
         trace_events=bus.events_emitted if bus is not None else 0,
+        jobs=execution.jobs if execution is not None else 1,
+        shards_total=execution.shards_total if execution is not None else 0,
+        shards_cached=execution.cache_hits if execution is not None else 0,
     )
     print(manifest.summary())
     if recorder is not None:
@@ -232,14 +291,63 @@ def _run_observed(name: str, args) -> None:
         print(f"manifest -> {manifest_path}")
 
 
+def _run_campaign(names, args) -> int:
+    """``spider-repro campaign``: the whole evaluation, fanned out."""
+    from repro.exec import campaign_manifest, run_campaign
+    from repro.obs.report import write_campaign_manifest
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    cache = _make_cache(args)
+    started = time.time()
+    campaign = run_campaign(
+        names,
+        fast=args.fast,
+        jobs=jobs,
+        cache=cache,
+        progress=print,
+        on_experiment=lambda execution: (
+            print_experiment(execution.name, execution.result),
+            print(),
+        ),
+    )
+    manifest = campaign_manifest(campaign, fast=args.fast, started_at=started)
+    manifest_path = args.manifest or "campaign-manifest.json"
+    write_campaign_manifest(manifest, manifest_path)
+    print(campaign.summary_line())
+    print(f"manifest -> {manifest_path}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="spider-repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("command", choices=["list", "run"], help="what to do")
+    parser.add_argument("command", choices=["list", "run", "campaign"], help="what to do")
     parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
     parser.add_argument("--fast", action="store_true", help="shrunk smoke-run parameters")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for shard execution (campaign default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=f"shard-result cache location (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the shard-result cache"
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="campaign: aggregated manifest path (default campaign-manifest.json)",
+    )
     parser.add_argument(
         "--trace",
         nargs="?",
@@ -256,6 +364,9 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     if args.command == "list":
         for name, entry in REGISTRY.items():
             print(f"  {name:10s} {entry['description']}")
@@ -263,12 +374,19 @@ def main(argv: Optional[list] = None) -> int:
 
     names = list(args.experiments)
     if not names:
-        parser.error("run requires experiment ids (or 'all')")
+        if args.command == "campaign":
+            names = ["all"]
+        else:
+            parser.error("run requires experiment ids (or 'all')")
     if names == ["all"]:
         names = list(REGISTRY)
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    if args.command == "campaign":
+        return _run_campaign(names, args)
+
     for name in names:
         _run_observed(name, args)
         print()

@@ -18,9 +18,10 @@ stock is worst on connectivity.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SpiderConfig
+from repro.exec.shards import Shard
 from repro.experiments.common import RunResult, ScenarioConfig, VehicularScenario
 from repro.world.deployment import BOSTON_CHANNEL_MIX, DeploymentConfig
 
@@ -82,26 +83,49 @@ PAPER_VALUES = {
 }
 
 
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIG_NAMES,
+) -> List[Shard]:
+    return [
+        Shard(key=f"config={name}", params={"name": name, "seed": seed, "duration": duration})
+        for name in configs
+    ]
+
+
+def run_shard(name: str, seed: int, duration: float) -> Dict:
+    result = run_config(name, seed=seed, duration=duration)
+    paper_thr, paper_conn = PAPER_VALUES.get(name, (None, None))
+    return {
+        "config": name,
+        "throughput_kBps": result.throughput_kbytes_per_s,
+        "connectivity_pct": result.connectivity * 100.0,
+        "paper_throughput_kBps": paper_thr,
+        "paper_connectivity_pct": paper_conn,
+        "result": result,
+    }
+
+
+def merge(
+    results: Sequence[Dict],
+    seed: int = 3,
+    duration: float = 900.0,
+    configs: Sequence[str] = CONFIG_NAMES,
+) -> Dict:
+    return {"experiment": "tab2", "rows": list(results)}
+
+
 def run(
     seed: int = 3,
     duration: float = 900.0,
     configs: Sequence[str] = CONFIG_NAMES,
 ) -> Dict:
-    rows = []
-    for name in configs:
-        result = run_config(name, seed=seed, duration=duration)
-        paper_thr, paper_conn = PAPER_VALUES.get(name, (None, None))
-        rows.append(
-            {
-                "config": name,
-                "throughput_kBps": result.throughput_kbytes_per_s,
-                "connectivity_pct": result.connectivity * 100.0,
-                "paper_throughput_kBps": paper_thr,
-                "paper_connectivity_pct": paper_conn,
-                "result": result,
-            }
-        )
-    return {"experiment": "tab2", "rows": rows}
+    results = [run_shard(**shard.params) for shard in shards(seed, duration, configs)]
+    return merge(results, seed=seed, duration=duration, configs=configs)
 
 
 def print_report(result: Dict) -> None:

@@ -19,9 +19,10 @@ joins completing sooner.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import SpiderConfig
+from repro.exec.shards import Shard
 from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import mean, stdev
 
@@ -61,17 +62,49 @@ def failure_rate_for(
     return driver.join_log.dhcp_message_timeout_rate() * 100.0
 
 
-def run(
+# -- shard protocol (see repro.exec.shards) -----------------------------
+
+
+def shards(
+    seeds: Sequence[int] = (1, 2, 3),
+    duration: float = 300.0,
+    cases: Sequence = CASES,
+) -> List[Shard]:
+    return [
+        Shard(
+            key=f"case={label}/seed={seed}",
+            params={
+                "channels": tuple(channels),
+                "link_timeout": link_timeout,
+                "dhcp_retry": dhcp_retry,
+                "seed": seed,
+                "duration": duration,
+            },
+        )
+        for label, channels, link_timeout, dhcp_retry, _paper in cases
+        for seed in seeds
+    ]
+
+
+def run_shard(
+    channels: Sequence[int],
+    link_timeout: float,
+    dhcp_retry: float,
+    seed: int,
+    duration: float,
+) -> float:
+    return failure_rate_for(channels, link_timeout, dhcp_retry, seed, duration)
+
+
+def merge(
+    results: Sequence[float],
     seeds: Sequence[int] = (1, 2, 3),
     duration: float = 300.0,
     cases: Sequence = CASES,
 ) -> Dict:
     rows = []
-    for label, channels, link_timeout, dhcp_retry, paper in cases:
-        rates = [
-            failure_rate_for(channels, link_timeout, dhcp_retry, seed, duration)
-            for seed in seeds
-        ]
+    for index, (label, _channels, _link_timeout, _dhcp_retry, paper) in enumerate(cases):
+        rates = list(results[index * len(seeds) : (index + 1) * len(seeds)])
         rows.append(
             {
                 "label": label,
@@ -81,6 +114,15 @@ def run(
             }
         )
     return {"experiment": "tab3", "rows": rows}
+
+
+def run(
+    seeds: Sequence[int] = (1, 2, 3),
+    duration: float = 300.0,
+    cases: Sequence = CASES,
+) -> Dict:
+    results = [run_shard(**shard.params) for shard in shards(seeds, duration, cases)]
+    return merge(results, seeds=seeds, duration=duration, cases=cases)
 
 
 def print_report(result: Dict) -> None:

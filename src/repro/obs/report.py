@@ -26,7 +26,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.sim import engine
 from repro.obs.metrics import MetricsRegistry
@@ -72,6 +72,12 @@ class RunManifest:
     events_executed: int = 0
     events_per_second: float = 0.0
     trace_events: int = 0
+    #: Parallel-execution provenance (see ``repro.exec``): how many
+    #: workers ran the experiment, how many shards it split into, and
+    #: how many of those were served from the result cache.
+    jobs: int = 1
+    shards_total: int = 0
+    shards_cached: int = 0
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -102,6 +108,9 @@ def build_manifest(
     wall_seconds: float = 0.0,
     events_executed: int = 0,
     trace_events: int = 0,
+    jobs: int = 1,
+    shards_total: int = 0,
+    shards_cached: int = 0,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a completed run."""
     return RunManifest(
@@ -116,7 +125,47 @@ def build_manifest(
         events_executed=int(events_executed),
         events_per_second=events_executed / wall_seconds if wall_seconds > 0 else 0.0,
         trace_events=trace_events,
+        jobs=jobs,
+        shards_total=shards_total,
+        shards_cached=shards_cached,
     )
+
+
+def build_campaign_manifest(
+    runs: Sequence[RunManifest],
+    started_at: float = 0.0,
+    wall_seconds: float = 0.0,
+    jobs: int = 1,
+    shards_total: int = 0,
+    shards_cached: int = 0,
+    cache_stats: Optional[Dict] = None,
+) -> Dict:
+    """Aggregate per-experiment manifests into one campaign manifest.
+
+    The campaign manifest is the provenance record of a whole-evaluation
+    regeneration: environment once, totals once, and the individual run
+    manifests nested under ``experiments``.
+    """
+    return {
+        "kind": "campaign",
+        "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(started_at)),
+        "wall_seconds": wall_seconds,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": jobs,
+        "shards_total": shards_total,
+        "shards_cached": shards_cached,
+        "cache_stats": dict(cache_stats) if cache_stats else None,
+        "experiments": [run.to_dict() for run in runs],
+    }
+
+
+def write_campaign_manifest(manifest: Dict, path: str) -> None:
+    """Write an aggregated campaign manifest as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, default=str)
+        handle.write("\n")
 
 
 def profile_call(fn, *args, top: int = 20, **kwargs):

@@ -43,5 +43,13 @@ class RandomStreams:
         return int.from_bytes(digest[:8], "big")
 
     def fork(self, salt: int) -> "RandomStreams":
-        """Derive an independent family of streams (e.g. per run index)."""
-        return RandomStreams(seed=self._derive_seed(f"fork:{salt}") & 0x7FFFFFFF)
+        """Derive an independent family of streams (e.g. per run index).
+
+        Forked roots hash in their own domain: :meth:`get` hashes
+        ``{seed}:{name}`` (a decimal-digit prefix), fork hashes
+        ``fork\\x1f{seed}\\x1f{salt}`` — no name can make the two
+        strings coincide, so a stream literally named ``"fork:1"``
+        never shares seed material with the family ``fork(1)`` derives.
+        """
+        digest = hashlib.sha256(f"fork\x1f{self.seed}\x1f{salt}".encode()).digest()
+        return RandomStreams(seed=int.from_bytes(digest[:8], "big") & 0x7FFFFFFF)
