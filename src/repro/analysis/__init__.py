@@ -1,0 +1,35 @@
+"""simlint — AST-based invariant checks for the simulation stack.
+
+The reproduction's guarantees (seeded determinism, byte-identical
+parallel execution, a closed trace-event taxonomy, a picklable shard
+protocol) are conventions of the *source code*; this package turns them
+into machine-checked rules. See ``DESIGN.md`` ("Static analysis") for
+the rule catalogue and the plugin interface.
+
+Public surface:
+
+- :func:`repro.analysis.engine.lint_paths` / ``lint_units`` — run the
+  checker programmatically;
+- :class:`repro.analysis.core.Rule` + ``register_rule`` — write new rules;
+- :mod:`repro.analysis.cli` — the ``spider-repro lint`` command.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import RULES, Finding, ModuleUnit, Rule, Severity, register_rule
+from repro.analysis.engine import LintRun, lint_paths, lint_units
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintRun",
+    "ModuleUnit",
+    "RULES",
+    "Rule",
+    "Severity",
+    "lint_paths",
+    "lint_units",
+    "load_config",
+    "register_rule",
+]

@@ -1,0 +1,71 @@
+"""Small AST helpers shared by the simlint rules.
+
+The rules reason about *dotted call targets* — ``random.choice``,
+``time.perf_counter``, ``tr.DHCP_SEND`` — which requires resolving the
+module's import aliases: ``from repro.obs import trace as tr`` must make
+``tr.DHCP_SEND`` resolve to ``repro.obs.trace.DHCP_SEND``. That mapping
+is what :class:`ImportMap` provides; :func:`dotted_name` turns an
+``Attribute``/``Name`` chain into the textual path to feed it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain; None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Maps local names to the fully dotted thing they import.
+
+    ``import random``                  → ``random`` → ``random``
+    ``import repro.obs.trace as tr``   → ``tr`` → ``repro.obs.trace``
+    ``from repro.obs import trace``    → ``trace`` → ``repro.obs.trace``
+    ``from random import choice as c`` → ``c`` → ``random.choice``
+
+    Relative imports and ``import a.b`` (which only binds ``a``) resolve
+    to their visible binding; ``from x import *`` is ignored.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never hit the banned stdlib paths
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Expand the first component of ``dotted`` through the aliases."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_node(self, node: ast.AST) -> Optional[str]:
+        return self.resolve(dotted_name(node))

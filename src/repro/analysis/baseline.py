@@ -1,0 +1,87 @@
+"""Committed baseline of grandfathered simlint findings.
+
+A lint gate is only adoptable if turning it on doesn't require fixing
+the whole history at once. The baseline records accepted findings so
+the gate fails **only on new ones**: each entry keys a finding by rule,
+file, and a hash of the *flagged line's stripped text* — stable across
+unrelated edits that merely shift line numbers, invalidated the moment
+the offending line itself changes (at which point it must be fixed or
+deliberately re-baselined with ``--write-baseline``).
+
+Entries that no longer match anything are *stale*; the CLI reports them
+so the baseline shrinks monotonically instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+_VERSION = 1
+
+
+def _line_text(source_lines: Sequence[str], line: int) -> str:
+    if 1 <= line <= len(source_lines):
+        return source_lines[line - 1].strip()
+    return ""
+
+
+def finding_key(finding: Finding, source_lines: Sequence[str]) -> Tuple[str, str, str]:
+    digest = hashlib.sha256(_line_text(source_lines, finding.line).encode()).hexdigest()[:16]
+    return (finding.rule.upper(), finding.path.replace("\\", "/"), digest)
+
+
+class Baseline:
+    """A multiset of accepted finding keys."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()):
+        self._entries: Counter = Counter(entries)
+        self._unmatched: Counter = Counter(self._entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    def absorbs(self, finding: Finding, source_lines: Sequence[str]) -> bool:
+        """True (and consumes one entry) if ``finding`` is baselined."""
+        key = finding_key(finding, source_lines)
+        if self._unmatched[key] > 0:
+            self._unmatched[key] -= 1
+            return True
+        return False
+
+    def stale_entries(self) -> List[Tuple[str, str, str]]:
+        """Entries no call to :meth:`absorbs` matched this run."""
+        return sorted(self._unmatched.elements())
+
+    # -- persistence -----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != _VERSION:
+            raise ValueError(f"unsupported baseline version in {path}: {data.get('version')!r}")
+        entries = [(e["rule"], e["path"], e["key"]) for e in data.get("entries", [])]
+        return cls(entries)
+
+    @staticmethod
+    def write(
+        path: Path,
+        findings: Iterable[Finding],
+        sources: Dict[str, Sequence[str]],
+    ) -> int:
+        """Serialise ``findings`` as the new baseline; returns the count."""
+        entries = []
+        for finding in sorted(findings):
+            rule, rel, digest = finding_key(finding, sources.get(finding.path, ()))
+            entries.append({"rule": rule, "path": rel, "key": digest})
+        payload = {"version": _VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return len(entries)

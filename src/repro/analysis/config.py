@@ -1,0 +1,119 @@
+"""simlint configuration: defaults plus the ``[tool.simlint]`` table.
+
+Policy lives in configuration, not in scattered pragmas: which packages
+count as *sim scope* (where wall-clock reads are banned), which harness
+modules are allowed to read the wall clock anyway, where the trace
+taxonomy and experiment registry live, and which plugin modules to
+import for extra rules. The CLI loads this from the repository's
+``pyproject.toml``; tests construct :class:`LintConfig` directly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Packages whose code runs *inside* simulated time. Wall-clock reads
+#: here would couple results to the host machine.
+DEFAULT_SIM_SCOPE: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.phy",
+    "repro.mac",
+    "repro.net",
+    "repro.core",
+    "repro.model",
+    "repro.world",
+    "repro.drivers",
+    "repro.experiments",
+    "repro.usability",
+    "repro.metrics",
+)
+
+
+@dataclass
+class LintConfig:
+    """Resolved simlint configuration for one run."""
+
+    sim_scope: Tuple[str, ...] = DEFAULT_SIM_SCOPE
+    #: Dotted-module globs exempt from SL002 (harness code that *measures*
+    #: wall time rather than simulating: the CLI runner, worker pools).
+    wallclock_allow: Tuple[str, ...] = ()
+    #: Module holding the ``layer.event`` taxonomy constants (SL004).
+    taxonomy_module: str = "repro.obs.trace"
+    #: Package whose modules must follow the shard protocol (SL005) and
+    #: be registered (SL006).
+    experiments_package: str = "repro.experiments"
+    #: Module defining the experiment ``REGISTRY`` dict (SL006).
+    registry_module: str = "repro.experiments.runner"
+    #: Default baseline path, relative to the config file's directory.
+    baseline: str = "simlint-baseline.json"
+    #: Plugin modules imported for their rule-registration side effect.
+    plugins: Tuple[str, ...] = ()
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    #: Directory the config was loaded from (anchors relative paths).
+    root: Optional[Path] = None
+
+    def wallclock_allowed(self, module: Optional[str]) -> bool:
+        if module is None:
+            return False
+        return any(fnmatch.fnmatchcase(module, pattern) for pattern in self.wallclock_allow)
+
+    def in_sim_scope(self, module: Optional[str]) -> bool:
+        if module is None:
+            return False
+        return any(
+            module == prefix or module.startswith(prefix + ".") for prefix in self.sim_scope
+        )
+
+
+def _tuple(raw: object, what: str) -> Tuple[str, ...]:
+    if not isinstance(raw, (list, tuple)) or not all(isinstance(item, str) for item in raw):
+        raise ValueError(f"[tool.simlint] {what} must be a list of strings")
+    return tuple(raw)
+
+
+def load_config(pyproject: Optional[Path]) -> LintConfig:
+    """Build a :class:`LintConfig` from ``pyproject.toml`` (if present)."""
+    config = LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return config
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("simlint", {})
+    config.root = pyproject.parent
+    if "sim-scope" in table:
+        config.sim_scope = _tuple(table["sim-scope"], "sim-scope")
+    if "wallclock-allow" in table:
+        config.wallclock_allow = _tuple(table["wallclock-allow"], "wallclock-allow")
+    if "taxonomy-module" in table:
+        config.taxonomy_module = str(table["taxonomy-module"])
+    if "experiments-package" in table:
+        config.experiments_package = str(table["experiments-package"])
+    if "registry-module" in table:
+        config.registry_module = str(table["registry-module"])
+    if "baseline" in table:
+        config.baseline = str(table["baseline"])
+    if "plugins" in table:
+        config.plugins = _tuple(table["plugins"], "plugins")
+    if "select" in table:
+        config.select = _tuple(table["select"], "select")
+    if "ignore" in table:
+        config.ignore = _tuple(table["ignore"], "ignore")
+    return config
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

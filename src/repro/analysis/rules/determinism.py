@@ -1,0 +1,219 @@
+"""Determinism rules: SL001 (global RNG), SL002 (wall clock), SL003 (sets).
+
+These protect the repo's headline guarantee — a run is a pure function
+of its seed, so parallel shard execution is byte-identical to the
+sequential run. Global RNG state, wall-clock reads inside simulated
+time, and hash-order set iteration are the three ways Python code
+breaks that silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import ImportMap, dotted_name
+from repro.analysis.core import Finding, ModuleUnit, ProjectContext, Rule, Severity, register_rule
+
+#: random-module attributes that are fine to reference: RNG *classes*
+#: (instantiating one is exactly what the rule demands) and state-free
+#: helpers.
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+_WALLCLOCK_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class NoGlobalRng(Rule):
+    """SL001: all randomness must flow through seeded instances.
+
+    ``random.random()``, ``random.choice()``, ``random.seed()`` et al.
+    mutate the interpreter-global Mersenne Twister: one extra draw
+    anywhere reorders every later draw everywhere, and worker processes
+    each get their own differently-seeded copy. Simulation code must
+    draw from an injected ``random.Random`` or a named
+    ``RandomStreams`` stream instead.
+    """
+
+    id = "SL001"
+    name = "no-global-rng"
+    severity = Severity.ERROR
+    description = "module-level random.* calls break seed isolation"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        imports = ImportMap(unit.tree)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random" and not node.level:
+                for alias in node.names:
+                    if alias.name != "*" and alias.name not in _RANDOM_ALLOWED:
+                        yield self.finding(
+                            unit.path,
+                            node,
+                            f"import of global-state 'random.{alias.name}' — "
+                            "use an injected random.Random or RandomStreams stream",
+                        )
+            elif isinstance(node, ast.Call):
+                resolved = imports.resolve(dotted_name(node.func))
+                if resolved is None or not resolved.startswith("random."):
+                    continue
+                attr = resolved[len("random."):]
+                if "." not in attr and attr not in _RANDOM_ALLOWED:
+                    yield self.finding(
+                        unit.path,
+                        node,
+                        f"call to global-state 'random.{attr}()' — "
+                        "use an injected random.Random or RandomStreams stream",
+                    )
+
+
+@register_rule
+class NoWallclockInSim(Rule):
+    """SL002: sim-scope code must not read the wall clock.
+
+    Inside the simulation the only clock is ``sim.now``; a
+    ``time.time()`` there couples results to host speed and load.
+    Harness modules that legitimately *measure* wall time (the CLI
+    runner, the worker pool) are exempted via the config-driven
+    ``wallclock-allow`` list, not inline pragmas, so the policy stays
+    reviewable in one place.
+    """
+
+    id = "SL002"
+    name = "no-wallclock-in-sim"
+    severity = Severity.ERROR
+    description = "wall-clock reads inside sim-scope packages"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        config = project.config
+        if not config.in_sim_scope(unit.module) or config.wallclock_allowed(unit.module):
+            return
+        imports = ImportMap(unit.tree)
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(dotted_name(node.func))
+            if resolved in _WALLCLOCK_BANNED:
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"wall-clock read '{resolved}()' in sim-scope module "
+                    f"{unit.module or unit.path!r} — use sim.now, or add the module to "
+                    "[tool.simlint] wallclock-allow if it is harness code",
+                )
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Collects names/attributes that are ever assigned a set value."""
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+        self.self_attrs: Set[str] = set()
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _record(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.self_attrs.add(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                self._record(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_set_expr(node.value):
+            self._record(node.target)
+        self.generic_visit(node)
+
+
+@register_rule
+class UnorderedIteration(Rule):
+    """SL003: iterating a set feeds hash order into the event stream.
+
+    Set iteration order depends on the per-process hash salt; when the
+    loop body schedules events or builds ordered output, two processes
+    disagree — the parallel-vs-sequential identity check is exactly the
+    victim. Iterate ``sorted(the_set)`` instead (set→set comprehensions
+    are order-free and exempt).
+
+    Heuristic and flow-insensitive by design: a name counts as a set if
+    it is *ever* assigned one in the module.
+    """
+
+    id = "SL003"
+    name = "unordered-iteration"
+    severity = Severity.WARNING
+    description = "iteration over sets is hash-order dependent"
+
+    _WRAPPERS = ("list", "tuple", "iter", "enumerate", "reversed")
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        tracker = _SetTracker()
+        tracker.visit(unit.tree)
+
+        def is_set_valued(node: ast.AST) -> bool:
+            if tracker._is_set_expr(node):
+                return True
+            if isinstance(node, ast.Name):
+                return node.id in tracker.names
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return node.attr in tracker.self_attrs
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._WRAPPERS
+                and len(node.args) >= 1
+            ):
+                return is_set_valued(node.args[0])
+            return False
+
+        def flag(iterable: ast.AST) -> Iterator[Finding]:
+            if is_set_valued(iterable):
+                yield self.finding(
+                    unit.path,
+                    iterable,
+                    "iteration over a set is hash-order dependent — "
+                    "iterate sorted(...) or restructure",
+                )
+
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from flag(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    yield from flag(generator.iter)

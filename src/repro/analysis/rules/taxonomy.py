@@ -1,0 +1,117 @@
+"""SL004: trace emissions must use the registered event taxonomy.
+
+The ``repro.obs`` trace bus gives every event a dot-separated
+``layer.event`` kind, declared once as module-level constants in
+``repro.obs.trace``. Subscribers filter on those exact strings, so an
+emitter inventing a kind inline (``trace.emit("dhcp.sendd", ...)``)
+silently vanishes from every recorder and report. This rule pins each
+``trace.emit(...)`` call site to a registered constant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.astutil import ImportMap, dotted_name
+from repro.analysis.core import Finding, ModuleUnit, ProjectContext, Rule, Severity, register_rule
+
+_CONST_NAME = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+#: receivers whose ``.emit`` we treat as the trace bus; the repo's
+#: guarded-instrumentation idiom binds the bus to a local called
+#: ``trace`` (or keeps it as ``self.trace`` / ``bus``).
+_TRACE_RECEIVERS = {"trace", "bus", "_trace", "_bus"}
+
+
+def extract_taxonomy(tree: ast.AST) -> Dict[str, str]:
+    """Module-level ``UPPER_CASE = "layer.event"`` constants."""
+    taxonomy: Dict[str, str] = {}
+    for node in getattr(tree, "body", []):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Constant) and isinstance(node.value.value, str)):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and _CONST_NAME.match(target.id):
+                taxonomy[target.id] = node.value.value
+    return taxonomy
+
+
+def _is_trace_emit(func: ast.Attribute) -> bool:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id in _TRACE_RECEIVERS
+    if isinstance(value, ast.Attribute):
+        return value.attr in _TRACE_RECEIVERS
+    return False
+
+
+@register_rule
+class TraceTaxonomy(Rule):
+    id = "SL004"
+    name = "trace-taxonomy"
+    severity = Severity.ERROR
+    description = "trace.emit kinds must be registered layer.event constants"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        taxonomy = project.taxonomy
+        if not taxonomy or unit.module == project.config.taxonomy_module:
+            return
+        imports = ImportMap(unit.tree)
+        taxonomy_module = project.config.taxonomy_module
+        kinds = set(taxonomy.values())
+
+        for node in ast.walk(unit.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and _is_trace_emit(node.func)
+            ):
+                continue
+            if not node.args:
+                yield self.finding(unit.path, node, "trace.emit(...) without an event kind")
+                continue
+            kind = node.args[0]
+            message = self._check_kind(kind, imports, taxonomy_module, taxonomy, kinds)
+            if message is not None:
+                yield self.finding(unit.path, kind, message)
+
+    @staticmethod
+    def _check_kind(
+        kind: ast.AST,
+        imports: ImportMap,
+        taxonomy_module: str,
+        taxonomy: Dict[str, str],
+        kinds: set,
+    ) -> Optional[str]:
+        if isinstance(kind, ast.IfExp):
+            # `A if cond else B`: both arms must be registered kinds.
+            for arm in (kind.body, kind.orelse):
+                message = TraceTaxonomy._check_kind(arm, imports, taxonomy_module, taxonomy, kinds)
+                if message is not None:
+                    return message
+            return None
+        if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+            if kind.value not in kinds:
+                return (
+                    f"event kind {kind.value!r} is not registered in {taxonomy_module} — "
+                    "add a layer.event constant there and emit it by name"
+                )
+            return (
+                f"string-literal event kind {kind.value!r} — emit the "
+                f"{taxonomy_module} constant instead so call sites can't drift"
+            )
+        resolved = imports.resolve(dotted_name(kind))
+        if resolved is not None and resolved.startswith(taxonomy_module + "."):
+            const = resolved[len(taxonomy_module) + 1:]
+            if const not in taxonomy:
+                return f"unknown taxonomy constant {const!r} (not defined in {taxonomy_module})"
+            return None
+        return (
+            "event kind must be a registered constant imported from "
+            f"{taxonomy_module} (got an unresolvable expression)"
+        )

@@ -18,8 +18,8 @@ from repro.drivers.base import (
     Scanner,
     VirtualInterface,
 )
-from repro.drivers.stock import StockDriver, StockConfig
 from repro.drivers.multicard import MultiCardDriver
+from repro.drivers.stock import StockConfig, StockDriver
 
 __all__ = [
     "ApObservation",

@@ -175,7 +175,9 @@ class VirtualInterface:
         self.record.dhcp_transmissions = self.dhcp.total_transmissions
         self.record.dhcp_message_timeouts = self.dhcp.message_timeouts
 
-    def attach_voip(self, interval: float = 0.020, payload_bytes: int = 200) -> Optional[VoipStream]:
+    def attach_voip(
+        self, interval: float = 0.020, payload_bytes: int = 200
+    ) -> Optional[VoipStream]:
         """Start a VoIP-style CBR stream through this interface.
 
         Returns None if the interface has no router (no wired side).

@@ -21,9 +21,9 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import is_dataclass, asdict
+from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 #: Bump when the on-disk entry format changes: stale formats then miss
 #: instead of unpickling garbage.
@@ -58,7 +58,7 @@ def _canonical(value: Any) -> Any:
 class ResultCache:
     """Content-addressed shard-result store under one root directory."""
 
-    def __init__(self, root, code_version: Optional[str] = None):
+    def __init__(self, root: Union[str, Path], code_version: Optional[str] = None):
         self.root = Path(root)
         if code_version is None:
             from repro.obs.report import git_sha

@@ -33,6 +33,7 @@ summary, just not intra-experiment parallelism.
 from __future__ import annotations
 
 import importlib
+import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence
 
@@ -69,12 +70,12 @@ class ShardPlan:
         return len(self.shards)
 
 
-def supports_sharding(module) -> bool:
+def supports_sharding(module: types.ModuleType) -> bool:
     """True if ``module`` implements the full shard protocol."""
     return all(callable(getattr(module, name, None)) for name in ("shards", "run_shard", "merge"))
 
 
-def build_plan(experiment: str, module, kwargs: Dict[str, Any]) -> ShardPlan:
+def build_plan(experiment: str, module: types.ModuleType, kwargs: Dict[str, Any]) -> ShardPlan:
     """Resolve ``experiment`` + parameters into a :class:`ShardPlan`.
 
     Opted-in modules contribute their own shards and merge; everything

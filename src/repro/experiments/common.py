@@ -36,8 +36,8 @@ from repro.world.mobility import (
     LoopRouteMobility,
     MobilityModel,
     StaticMobility,
+    rectangular_loop,
 )
-from repro.world.mobility import rectangular_loop
 
 
 @dataclass
@@ -185,7 +185,9 @@ class VehicularScenario(_World):
             rng=self.streams.get("spider"),
         )
 
-    def make_stock(self, config: Optional[StockConfig] = None, address: str = "stock") -> StockDriver:
+    def make_stock(
+        self, config: Optional[StockConfig] = None, address: str = "stock"
+    ) -> StockDriver:
         return StockDriver(
             self.sim,
             self.medium,
@@ -195,7 +197,9 @@ class VehicularScenario(_World):
             router_lookup=self.router_lookup(),
         )
 
-    def make_fatvap(self, config: Optional[FatVapConfig] = None, address: str = "fatvap") -> FatVapDriver:
+    def make_fatvap(
+        self, config: Optional[FatVapConfig] = None, address: str = "fatvap"
+    ) -> FatVapDriver:
         return FatVapDriver(
             self.sim,
             self.medium,
@@ -261,7 +265,9 @@ class LabScenario(_World):
             rng=self.streams.get("spider"),
         )
 
-    def make_stock(self, config: Optional[StockConfig] = None, address: str = "stock") -> StockDriver:
+    def make_stock(
+        self, config: Optional[StockConfig] = None, address: str = "stock"
+    ) -> StockDriver:
         return StockDriver(
             self.sim,
             self.medium,
@@ -281,7 +287,9 @@ class LabScenario(_World):
             router_lookup=self.router_lookup(),
         )
 
-    def make_fatvap(self, config: Optional[FatVapConfig] = None, address: str = "fatvap") -> FatVapDriver:
+    def make_fatvap(
+        self, config: Optional[FatVapConfig] = None, address: str = "fatvap"
+    ) -> FatVapDriver:
         return FatVapDriver(
             self.sim,
             self.medium,

@@ -12,7 +12,7 @@ as 1/N — quantifying how well concurrent-Wi-Fi gains survive adoption.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.config import SpiderConfig
 from repro.experiments.common import LabScenario

@@ -319,11 +319,20 @@ def _run_campaign(names, args) -> int:
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # simlint has its own flag set (--format/--baseline/--select/...);
+        # delegate before the experiment parser can reject them.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="spider-repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("command", choices=["list", "run", "campaign"], help="what to do")
+    parser.add_argument(
+        "command", choices=["list", "run", "campaign", "lint"], help="what to do"
+    )
     parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
     parser.add_argument("--fast", action="store_true", help="shrunk smoke-run parameters")
     parser.add_argument(

@@ -7,6 +7,8 @@ with per-message link-layer timeouts, AP-side power-save-mode (PSM)
 buffering, and beaconing.
 """
 
+from repro.mac.ap import AccessPoint
+from repro.mac.association import AssociationConfig, AssociationMachine, AssociationState
 from repro.mac.frames import (
     BROADCAST,
     Frame,
@@ -17,8 +19,6 @@ from repro.mac.frames import (
     null_data,
     ps_poll,
 )
-from repro.mac.ap import AccessPoint
-from repro.mac.association import AssociationConfig, AssociationMachine, AssociationState
 
 __all__ = [
     "AccessPoint",

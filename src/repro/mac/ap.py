@@ -17,6 +17,7 @@ buffering that virtualized Wi-Fi clients exploit:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -27,8 +28,8 @@ from repro.mac.frames import Frame, FrameType
 from repro.obs import trace as tr
 from repro.phy.radio import Medium, Radio
 from repro.sim.engine import Simulator
-from repro.world.mobility import StaticMobility
 from repro.world.geometry import Point
+from repro.world.mobility import StaticMobility
 
 
 @dataclass
@@ -71,7 +72,10 @@ class AccessPoint:
         self.name = name
         self.channel = channel
         self.config = config or ApConfig()
-        self._rng = rng or random.Random(hash(name) & 0x7FFFFFFF)
+        # Fallback seed must not use hash(): str hashing is salted per
+        # process, so worker-pool runs would disagree with inline runs.
+        fallback_seed = int.from_bytes(hashlib.sha256(name.encode()).digest()[:8], "big")
+        self._rng = rng or random.Random(fallback_seed)
         self.radio = Radio(medium, StaticMobility(position), channel, name=name, address=name)
         self.radio.on_receive = self._on_frame
         self.radio.on_unicast_failure = self._on_tx_failure
@@ -115,7 +119,7 @@ class AccessPoint:
 
     def _age_clients(self) -> None:
         horizon = self.sim.now - self.config.client_timeout
-        for client in list(self.associated):
+        for client in sorted(self.associated):
             if self._last_heard.get(client, 0.0) < horizon:
                 self._drop_client(client)
         self.sim.schedule(self.config.client_timeout / 2, self._age_clients)

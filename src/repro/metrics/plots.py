@@ -10,7 +10,7 @@ testable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 #: Glyphs assigned to series, in order.
 SERIES_GLYPHS = "ox+*#@%&"

@@ -6,6 +6,7 @@ timers (the paper's central overhead) and TCP's RTO (the reason
 off-channel absence strangles throughput, Figs. 7–8).
 """
 
+from repro.net.backhaul import ApRouter, WiredBackhaul
 from repro.net.dhcp import (
     DhcpClient,
     DhcpClientConfig,
@@ -17,7 +18,6 @@ from repro.net.dhcp import (
 )
 from repro.net.shaper import TokenBucketShaper
 from repro.net.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender
-from repro.net.backhaul import ApRouter, WiredBackhaul
 from repro.net.traffic import BulkDownload
 from repro.net.udp import UdpDatagram, VoipQuality, VoipStream, estimate_mos
 

@@ -9,7 +9,6 @@ backhaul rate; this is that shaper.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable
 
 from repro.sim.engine import Simulator

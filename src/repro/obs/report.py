@@ -28,9 +28,9 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
-from repro.sim import engine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBus
+from repro.sim import engine
 
 
 @contextmanager

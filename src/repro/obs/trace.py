@@ -223,7 +223,7 @@ def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
 def read_jsonl(path: str) -> List[TraceEvent]:
     """Load a trace written by :func:`write_jsonl`."""
     events: List[TraceEvent] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:

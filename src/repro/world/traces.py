@@ -18,7 +18,7 @@ import csv
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.world.geometry import Point, interpolate
 from repro.world.mobility import MobilityModel, WaypointMobility

@@ -1,7 +1,5 @@
 """Tests for the multi-client contention experiment."""
 
-import pytest
-
 from repro.experiments import contention
 
 

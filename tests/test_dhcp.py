@@ -1,7 +1,5 @@
 """Unit tests for the DHCP client and server."""
 
-import pytest
-
 from repro.net.dhcp import (
     DhcpClient,
     DhcpClientConfig,

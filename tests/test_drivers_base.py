@@ -1,7 +1,5 @@
 """Tests for shared driver machinery (scanner, virtual interfaces)."""
 
-import pytest
-
 from repro.core.config import SpiderConfig
 from repro.drivers.base import DriverConfig, Scanner
 from repro.experiments.common import LabScenario

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import SpiderConfig
 from repro.experiments.common import LabScenario
-from repro.metrics.energy import EnergyMeter, EnergyModel, EnergyReport
+from repro.metrics.energy import EnergyMeter, EnergyReport
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 

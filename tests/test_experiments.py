@@ -3,9 +3,13 @@ paper's qualitative shapes hold."""
 
 import pytest
 
-from repro.experiments import runner
 from repro.experiments import (
     ablations,
+    fig10_cdfs,
+    fig11_join_timeout,
+    fig12_join_policies,
+    fig13_usability,
+    fig14_usability,
     fig2_join_model,
     fig3_beta_sensitivity,
     fig4_dividing_speed,
@@ -14,11 +18,7 @@ from repro.experiments import (
     fig7_tcp_fraction,
     fig8_tcp_dwell,
     fig9_micro,
-    fig10_cdfs,
-    fig11_join_timeout,
-    fig12_join_policies,
-    fig13_usability,
-    fig14_usability,
+    runner,
     tab1_switch_latency,
     tab2_throughput_connectivity,
     tab3_dhcp_failures,

@@ -1,7 +1,5 @@
 """Failure-injection tests: the stack degrades gracefully, not wrongly."""
 
-import pytest
-
 from repro.core.config import SpiderConfig
 from repro.experiments.common import LabScenario
 from repro.mac.ap import ApConfig

@@ -1,7 +1,5 @@
 """Tests for the FatVAP-style AP-slicing baseline."""
 
-import pytest
-
 from repro.core.config import SpiderConfig
 from repro.core.fatvap import FatVapConfig
 from repro.experiments.common import LabScenario

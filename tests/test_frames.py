@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mac import frames
-from repro.mac.frames import BROADCAST, Frame, FrameType
+from repro.mac.frames import BROADCAST, FrameType
 from repro.phy.channels import DEFAULT_DATA_RATE_BPS, MANAGEMENT_RATE_BPS
 
 

@@ -1,7 +1,5 @@
 """Tests for adjacent-channel interference in the medium."""
 
-import pytest
-
 from repro.mac import frames
 from repro.phy.propagation import PropagationModel
 from repro.phy.radio import Medium, Radio

@@ -11,7 +11,6 @@ from repro.model.join_model import (
     expected_join_time,
     expected_join_time_unbounded,
     join_success_probability,
-    q_round_failure,
     q_single_request,
     requests_per_round,
 )

@@ -1,7 +1,5 @@
 """Unit tests for the access point MAC entity."""
 
-import pytest
-
 from repro.mac import frames
 from repro.mac.ap import AccessPoint, ApConfig
 from repro.mac.frames import FrameType
@@ -49,7 +47,9 @@ class TestBeaconing:
         ap = make_ap(sim, medium)
         client = make_client(medium)
         beacons = []
-        client.on_receive = lambda f: beacons.append(sim.now) if f.type == FrameType.BEACON else None
+        client.on_receive = (
+            lambda f: beacons.append(sim.now) if f.type == FrameType.BEACON else None
+        )
         ap.start()
         sim.run(until=1.05)
         # Desynchronised start phase: 10 or 11 beacons in 1.05 s.

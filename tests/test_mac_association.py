@@ -1,7 +1,5 @@
 """Unit tests for the client association state machine."""
 
-import pytest
-
 from repro.mac import frames
 from repro.mac.ap import AccessPoint
 from repro.mac.association import (

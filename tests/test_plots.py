@@ -1,7 +1,5 @@
 """Tests for the ASCII plotting helpers."""
 
-import pytest
-
 from repro.metrics.plots import bar_chart, cdf_plot, line_plot
 
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model.join_model import JoinModelParams, join_success_probability
-from repro.net.tcp import TcpConfig, TcpSegment, TcpSender, TcpReceiver
+from repro.net.tcp import TcpConfig, TcpReceiver, TcpSegment, TcpSender
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 

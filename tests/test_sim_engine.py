@@ -3,9 +3,7 @@
 import pytest
 
 from repro.sim.engine import (
-    Event,
     Interrupted,
-    Process,
     SimulationError,
     Simulator,
     Timeout,

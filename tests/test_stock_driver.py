@@ -1,7 +1,5 @@
 """Tests for the stock single-AP driver and the multi-card baseline."""
 
-import pytest
-
 from repro.drivers.stock import StockConfig
 from repro.experiments.common import LabScenario
 

@@ -1,10 +1,9 @@
 """Tests for trace-driven mobility."""
 
-import math
 
 import pytest
 
-from repro.world.geometry import Point, distance
+from repro.world.geometry import Point
 from repro.world.mobility import rectangular_loop
 from repro.world.traces import (
     TraceMobility,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.metrics.stats import median
-from repro.usability.mesh_trace import MeshTrace, MeshTraceConfig, generate_mesh_trace
+from repro.usability.mesh_trace import MeshTraceConfig, generate_mesh_trace
 
 
 def small_config(**overrides):

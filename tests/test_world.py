@@ -1,6 +1,5 @@
 """Unit tests for geometry, mobility, and deployment generation."""
 
-import math
 import random
 
 import pytest
@@ -8,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.world.deployment import (
-    AMHERST_CHANNEL_MIX,
     DeploymentConfig,
     generate_deployment,
 )
