@@ -8,9 +8,21 @@ cost faithfully; `once()` wraps ``benchmark.pedantic`` accordingly.
 ``--exec-jobs N`` sets the worker count used by the ``repro.exec``
 benchmarks (sequential-vs-sharded comparisons); default 2 so they are
 meaningful on any CI box.
+
+At session end the collected measurements are aggregated into one
+``BENCH_<timestamp>.json`` next to this file (wall seconds plus the
+numeric scalars of each result), so CI can archive a per-run artifact
+without parsing pytest-benchmark's storage format.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+#: One record per `once()` call: test id, wall seconds, result scalars.
+_RECORDS = []
 
 
 def pytest_addoption(parser):
@@ -27,11 +39,52 @@ def exec_jobs(request):
     return request.config.getoption("--exec-jobs")
 
 
+def _result_scalars(result):
+    """Top-level numeric scalars of a benchmark's return value."""
+    if isinstance(result, bool) or result is None:
+        return {}
+    if isinstance(result, (int, float)):
+        return {"value": result}
+    if isinstance(result, dict):
+        return {
+            key: value
+            for key, value in sorted(result.items())
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+    return {}
+
+
 @pytest.fixture
-def once(benchmark):
+def once(benchmark, request):
     """Run the experiment exactly once under the benchmark clock."""
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+        start = time.perf_counter()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+        _RECORDS.append(
+            {
+                "test": request.node.nodeid,
+                "wall_seconds": round(time.perf_counter() - start, 6),
+                "scalars": _result_scalars(result),
+            }
+        )
+        return result
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate the session's measurements into BENCH_<timestamp>.json."""
+    if not _RECORDS:
+        return
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = Path(__file__).parent / f"BENCH_{stamp}.json"
+    payload = {
+        "created_utc": stamp,
+        "exit_status": int(exitstatus),
+        "benchmarks": sorted(_RECORDS, key=lambda record: record["test"]),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"benchmark summary written to {path}")

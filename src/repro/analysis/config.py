@@ -27,6 +27,7 @@ DEFAULT_SIM_SCOPE: Tuple[str, ...] = (
     "repro.world",
     "repro.drivers",
     "repro.experiments",
+    "repro.scenario",
     "repro.usability",
     "repro.metrics",
 )
@@ -47,6 +48,8 @@ class LintConfig:
     experiments_package: str = "repro.experiments"
     #: Module defining the experiment ``REGISTRY`` dict (SL006).
     registry_module: str = "repro.experiments.runner"
+    #: Package allowed to construct world primitives directly (SL007).
+    scenario_package: str = "repro.scenario"
     #: Default baseline path, relative to the config file's directory.
     baseline: str = "simlint-baseline.json"
     #: Plugin modules imported for their rule-registration side effect.
@@ -98,6 +101,8 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
         config.experiments_package = str(table["experiments-package"])
     if "registry-module" in table:
         config.registry_module = str(table["registry-module"])
+    if "scenario-package" in table:
+        config.scenario_package = str(table["scenario-package"])
     if "baseline" in table:
         config.baseline = str(table["baseline"])
     if "plugins" in table:

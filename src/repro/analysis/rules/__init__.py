@@ -1,10 +1,10 @@
 """Built-in simlint rules.
 
-Importing this package registers SL001–SL006 with the rule registry in
+Importing this package registers SL001–SL007 with the rule registry in
 :mod:`repro.analysis.core`; third-party rules register identically from
 modules listed under ``[tool.simlint] plugins``.
 """
 
-from repro.analysis.rules import determinism, protocol, taxonomy
+from repro.analysis.rules import determinism, protocol, taxonomy, worldbuild
 
-__all__ = ["determinism", "protocol", "taxonomy"]
+__all__ = ["determinism", "protocol", "taxonomy", "worldbuild"]

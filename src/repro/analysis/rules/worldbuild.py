@@ -1,0 +1,69 @@
+"""SL007: experiment code must build worlds through ``repro.scenario``.
+
+The scenario subsystem (``repro.scenario``) is the single wiring layer:
+it owns RNG stream naming (``ap:{name}`` shared between an AP and its
+DHCP server), construction order (mobility, then deployment, then APs
+in ``open_sites()`` order), and the trace events that announce a build.
+An experiment module that constructs ``Medium``/``AccessPoint`` or
+calls ``generate_deployment`` directly re-implements that wiring and
+silently forks the determinism contract — its digests drift from every
+scenario-built world with the same seed. This rule pins world
+construction to the scenario package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, dotted_name
+from repro.analysis.core import Finding, ModuleUnit, ProjectContext, Rule, Severity, register_rule
+
+#: World-building primitives whose call sites belong in the scenario
+#: package; each maps the symbol to every import path it is visible
+#: under (concrete module and package re-export).
+_PRIMITIVES = {
+    "Medium": ("repro.phy.radio.Medium", "repro.phy.Medium"),
+    "AccessPoint": ("repro.mac.ap.AccessPoint", "repro.mac.AccessPoint"),
+    "generate_deployment": (
+        "repro.world.deployment.generate_deployment",
+        "repro.world.generate_deployment",
+    ),
+}
+
+_BANNED = {path: name for name, paths in _PRIMITIVES.items() for path in paths}
+
+
+@register_rule
+class WorldBuildViaScenario(Rule):
+    """SL007: direct world construction outside ``repro.scenario``."""
+
+    id = "SL007"
+    name = "worldbuild-via-scenario"
+    severity = Severity.ERROR
+    description = "worlds must be built via repro.scenario, not by hand"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        config = project.config
+        if not config.in_sim_scope(unit.module):
+            return
+        if unit.in_package((config.scenario_package,)):
+            return
+        imports = ImportMap(unit.tree)
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(dotted_name(node.func))
+            if resolved is None:
+                continue
+            name = _BANNED.get(resolved)
+            if name is not None:
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"direct {name!r} construction outside {config.scenario_package} — "
+                    f"build worlds via {config.scenario_package} (ScenarioSpec + build(), "
+                    "or World.add_ap/populate_loop) so RNG streams and wiring order "
+                    "stay on the determinism contract",
+                )

@@ -15,14 +15,14 @@ from typing import Dict, List
 
 from repro.core.config import SpiderConfig
 from repro.core.fatvap import FatVapConfig
-from repro.experiments.common import ScenarioConfig, VehicularScenario
+from repro.scenario import build, scenario
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 
 
 def _run_spider(config: SpiderConfig, seed: int, duration: float):
-    scenario = VehicularScenario(ScenarioConfig(seed=seed))
-    return scenario.run(scenario.make_spider(config), duration)
+    world = build(scenario("vehicular-amherst", seed=seed))
+    return world.run(world.make_spider(config), duration)
 
 
 def selection_policy(seed: int = 3, duration: float = 600.0) -> List[Dict]:
@@ -78,11 +78,11 @@ def psm(seed: int = 3, duration: float = 600.0) -> List[Dict]:
 def slicing_architecture(seed: int = 3, duration: float = 600.0) -> List[Dict]:
     """Channel-based (Spider) vs AP-based (FatVAP-style) slicing."""
     rows = []
-    scenario = VehicularScenario(ScenarioConfig(seed=seed))
-    spider = scenario.make_spider(
+    world = build(scenario("vehicular-amherst", seed=seed))
+    spider = world.make_spider(
         SpiderConfig.single_channel_multi_ap(channel=1, **REDUCED)
     )
-    result = scenario.run(spider, duration)
+    result = world.run(spider, duration)
     rows.append(
         {
             "architecture": "channel-based (Spider)",
@@ -90,12 +90,12 @@ def slicing_architecture(seed: int = 3, duration: float = 600.0) -> List[Dict]:
             "connectivity_pct": result.connectivity * 100,
         }
     )
-    scenario = VehicularScenario(ScenarioConfig(seed=seed))
-    fatvap = scenario.make_fatvap(
+    world = build(scenario("vehicular-amherst", seed=seed))
+    fatvap = world.make_fatvap(
         FatVapConfig(channels=(1,), link_timeout=0.1, dhcp_retry_timeout=0.2,
                      dhcp_restart_immediately=True, teardown_on_dhcp_failure=False)
     )
-    result = scenario.run(fatvap, duration)
+    result = world.run(fatvap, duration)
     rows.append(
         {
             "architecture": "AP-based (FatVAP-style)",

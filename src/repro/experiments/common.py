@@ -1,48 +1,41 @@
-"""Shared scenario machinery for the evaluation experiments.
+"""Compatibility layer over the scenario subsystem.
 
-Two worlds cover every experiment in the paper:
+World construction lives in :mod:`repro.scenario` (spec → build →
+run); this module keeps the historical experiment-facing names alive:
 
-- :class:`VehicularScenario` — the outdoor testbed substitute: a car
-  repeatedly driving a downtown loop lined with generated APs
-  (Amherst/Boston channel mixes, per-AP backhaul and DHCP profiles).
-- :class:`LabScenario` — the indoor/static micro-benchmark substitute:
-  a stationary client and a small set of APs with shaped backhauls.
+- :class:`RunResult` — re-exported from ``repro.scenario.results``;
+- :class:`VehicularScenario` / :class:`LabScenario` — thin
+  :class:`~repro.scenario.build.World` subclasses with the original
+  constructors, for tests and callers that wire worlds imperatively.
 
-Both hand back fully wired worlds: every AP gets a DHCP server, a
-backhaul shaper, and a router; a ``router_lookup`` lets drivers build
-TCP flows through whichever AP they join.
+New code should declare a :class:`~repro.scenario.ScenarioSpec`
+(usually via ``repro.scenario.scenario(name, ...)``) and call
+``build``; see DESIGN.md §"Scenario subsystem".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Optional
 
-from repro.core.config import SpiderConfig
-from repro.core.fatvap import FatVapConfig, FatVapDriver
-from repro.core.spider import SpiderDriver
-from repro.drivers.multicard import MultiCardDriver
-from repro.drivers.stock import StockConfig, StockDriver
-from repro.mac.ap import AccessPoint, ApConfig
-from repro.net.backhaul import ApRouter, WiredBackhaul
-from repro.net.dhcp import DhcpServer, DhcpServerConfig
 from repro.phy.propagation import PropagationModel
-from repro.phy.radio import Medium
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.world.deployment import Deployment, DeploymentConfig, generate_deployment
+from repro.scenario.build import World
+from repro.scenario.results import RunResult, result_from_driver
+from repro.world.deployment import DeploymentConfig
 from repro.world.geometry import Point
-from repro.world.mobility import (
-    LoopRouteMobility,
-    MobilityModel,
-    StaticMobility,
-    rectangular_loop,
-)
+
+__all__ = [
+    "LabScenario",
+    "RunResult",
+    "ScenarioConfig",
+    "VehicularScenario",
+    "result_from_driver",
+]
 
 
 @dataclass
 class ScenarioConfig:
-    """Knobs of a vehicular run."""
+    """Knobs of a vehicular run (imperative spelling of the spec)."""
 
     seed: int = 1
     speed: float = 10.0  # m/s (~22 mph, the paper's dividing speed)
@@ -58,168 +51,25 @@ class ScenarioConfig:
     wired_latency: float = 0.075  # one-way; yields ~200 ms effective RTTs
 
 
-@dataclass
-class RunResult:
-    """Everything the evaluation metrics need from one run."""
-
-    duration: float
-    throughput_kbytes_per_s: float
-    connectivity: float
-    connection_durations: List[float]
-    disruption_durations: List[float]
-    instantaneous_kbytes: List[float]
-    join_attempts: int
-    join_successes: int
-    dhcp_failure_rate: float
-    association_times: List[float]
-    join_times: List[float]
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "throughput_KBps": round(self.throughput_kbytes_per_s, 1),
-            "connectivity_pct": round(self.connectivity * 100.0, 1),
-            "join_attempts": self.join_attempts,
-            "join_successes": self.join_successes,
-            "dhcp_failure_pct": round(self.dhcp_failure_rate * 100.0, 1),
-        }
-
-
-class _World:
-    """Common plumbing: sim, medium, APs, routers."""
-
-    def __init__(self, seed: int, propagation: PropagationModel):
-        self.sim = Simulator()
-        self.streams = RandomStreams(seed)
-        self.medium = Medium(self.sim, propagation, self.streams)
-        self.aps: Dict[str, AccessPoint] = {}
-        self.routers: Dict[str, ApRouter] = {}
-
-    def add_ap(
-        self,
-        name: str,
-        channel: int,
-        position: Point,
-        backhaul_bps: float,
-        beta_min: float,
-        beta_max: float,
-        wired_latency: float,
-        ap_config: Optional[ApConfig] = None,
-    ) -> AccessPoint:
-        rng = self.streams.get(f"ap:{name}")
-        ap = AccessPoint(
-            self.sim,
-            self.medium,
-            name,
-            channel,
-            position,
-            config=ap_config or ApConfig(),
-            rng=rng,
-        )
-        dhcp = DhcpServer(
-            self.sim,
-            name,
-            config=DhcpServerConfig(beta_min=beta_min, beta_max=beta_max),
-            rng=rng,
-        )
-        backhaul = WiredBackhaul(self.sim, backhaul_bps, latency_s=wired_latency)
-        self.routers[name] = ApRouter(self.sim, ap, backhaul, dhcp)
-        self.aps[name] = ap
-        ap.start()
-        return ap
-
-    def router_lookup(self) -> Callable[[str], Optional[ApRouter]]:
-        return lambda name: self.routers.get(name)
-
-    @staticmethod
-    def _result_from_driver(driver, duration: float) -> RunResult:
-        recorder = driver.recorder
-        join_log = getattr(driver, "join_log", None)
-        return RunResult(
-            duration=duration,
-            throughput_kbytes_per_s=recorder.average_throughput_kbytes_per_s(),
-            connectivity=recorder.connectivity_fraction(),
-            connection_durations=recorder.connection_durations(),
-            disruption_durations=recorder.disruption_durations(),
-            instantaneous_kbytes=recorder.instantaneous_bandwidths_kbytes(),
-            join_attempts=join_log.attempts() if join_log else 0,
-            join_successes=join_log.successes() if join_log else 0,
-            dhcp_failure_rate=join_log.dhcp_failure_rate() if join_log else 0.0,
-            association_times=join_log.association_times() if join_log else [],
-            join_times=join_log.join_times() if join_log else [],
-        )
-
-
-class VehicularScenario(_World):
+class VehicularScenario(World):
     """A car on a downtown loop lined with generated APs."""
 
     def __init__(self, config: Optional[ScenarioConfig] = None):
         config = config or ScenarioConfig()
-        super().__init__(config.seed, config.propagation)
+        super().__init__(
+            config.seed, config.propagation, config.wired_latency, name="vehicular"
+        )
         self.config = config
-        route = rectangular_loop(config.route_width, config.route_height)
-        self.mobility: MobilityModel = LoopRouteMobility(route, config.speed)
-        self.deployment: Deployment = generate_deployment(
-            route, config.deployment, self.streams.get("deployment")
-        )
-        for site in self.deployment.open_sites():
-            self.add_ap(
-                site.name,
-                site.channel,
-                site.position,
-                site.backhaul_bps,
-                site.beta_min,
-                site.beta_max,
-                config.wired_latency,
-            )
-
-    # -- driver factories -------------------------------------------------
-
-    def make_spider(self, config: SpiderConfig, address: str = "spider") -> SpiderDriver:
-        return SpiderDriver(
-            self.sim,
-            self.medium,
-            self.mobility,
-            address=address,
-            config=config,
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("spider"),
+        self.populate_loop(
+            config.route_width,
+            config.route_height,
+            config.speed,
+            config.deployment,
+            config.wired_latency,
         )
 
-    def make_stock(
-        self, config: Optional[StockConfig] = None, address: str = "stock"
-    ) -> StockDriver:
-        return StockDriver(
-            self.sim,
-            self.medium,
-            self.mobility,
-            address,
-            config=config or StockConfig(),
-            router_lookup=self.router_lookup(),
-        )
 
-    def make_fatvap(
-        self, config: Optional[FatVapConfig] = None, address: str = "fatvap"
-    ) -> FatVapDriver:
-        return FatVapDriver(
-            self.sim,
-            self.medium,
-            self.mobility,
-            address,
-            config=config or FatVapConfig(),
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("fatvap"),
-        )
-
-    # -- execution ----------------------------------------------------------
-
-    def run(self, driver, duration: float) -> RunResult:
-        driver.start()
-        self.sim.run(until=self.sim.now + duration)
-        driver.stop()
-        return self._result_from_driver(driver, duration)
-
-
-class LabScenario(_World):
+class LabScenario(World):
     """Static client + hand-placed APs (indoor micro-benchmarks)."""
 
     def __init__(
@@ -232,76 +82,5 @@ class LabScenario(_World):
         propagation = propagation or PropagationModel(
             range_m=50.0, base_loss=0.02, edge_start=0.95
         )
-        super().__init__(seed, propagation)
-        self.wired_latency = wired_latency
+        super().__init__(seed, propagation, wired_latency, name="lab")
         self.client_position = Point(0.0, 0.0)
-
-    def add_lab_ap(
-        self,
-        name: str,
-        channel: int,
-        backhaul_bps: float,
-        beta_min: float = 0.2,
-        beta_max: float = 1.0,
-        distance_m: float = 10.0,
-        index: int = 0,
-    ) -> AccessPoint:
-        position = Point(distance_m, float(index))
-        return self.add_ap(
-            name, channel, position, backhaul_bps, beta_min, beta_max, self.wired_latency
-        )
-
-    def static_mobility(self) -> StaticMobility:
-        return StaticMobility(self.client_position)
-
-    def make_spider(self, config: SpiderConfig, address: str = "spider") -> SpiderDriver:
-        return SpiderDriver(
-            self.sim,
-            self.medium,
-            self.static_mobility(),
-            address=address,
-            config=config,
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("spider"),
-        )
-
-    def make_stock(
-        self, config: Optional[StockConfig] = None, address: str = "stock"
-    ) -> StockDriver:
-        return StockDriver(
-            self.sim,
-            self.medium,
-            self.static_mobility(),
-            address,
-            config=config or StockConfig(),
-            router_lookup=self.router_lookup(),
-        )
-
-    def make_multicard(self, cards: int = 2, address: str = "multicard") -> MultiCardDriver:
-        return MultiCardDriver(
-            self.sim,
-            self.medium,
-            self.static_mobility(),
-            address,
-            cards=cards,
-            router_lookup=self.router_lookup(),
-        )
-
-    def make_fatvap(
-        self, config: Optional[FatVapConfig] = None, address: str = "fatvap"
-    ) -> FatVapDriver:
-        return FatVapDriver(
-            self.sim,
-            self.medium,
-            self.static_mobility(),
-            address,
-            config=config or FatVapConfig(),
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("fatvap"),
-        )
-
-    def run(self, driver, duration: float) -> RunResult:
-        driver.start()
-        self.sim.run(until=self.sim.now + duration)
-        driver.stop()
-        return self._result_from_driver(driver, duration)

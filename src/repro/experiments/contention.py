@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import LabScenario
+from repro.scenario import build, scenario
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 
@@ -28,7 +28,7 @@ def run_population(
     seed: int = 17,
 ) -> Dict:
     """One population size: N Spiders sharing the same channel-1 APs."""
-    lab = LabScenario(seed=seed)
+    lab = build(scenario("lab", seed=seed))
     for index in range(aps):
         lab.add_lab_ap(f"ap{index}", 1, backhaul_bps, index=2 * index)
     drivers = []

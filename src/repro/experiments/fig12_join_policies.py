@@ -13,8 +13,8 @@ from typing import Dict, List, Sequence
 
 from repro.core.config import SpiderConfig
 from repro.exec.shards import Shard
-from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import empirical_cdf, median
+from repro.scenario import build, scenario
 
 
 def _case_config(
@@ -79,11 +79,11 @@ def run_shard(
     seed: int,
     duration: float,
 ) -> List[float]:
-    scenario = VehicularScenario(ScenarioConfig(seed=seed))
-    driver = scenario.make_spider(
+    world = build(scenario("vehicular-amherst", seed=seed))
+    driver = world.make_spider(
         _case_config(channels, interfaces, link_timeout, dhcp_timeout)
     )
-    scenario.run(driver, duration)
+    world.run(driver, duration)
     return driver.join_log.join_times()
 
 

@@ -14,8 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SpiderConfig
 from repro.exec.shards import Shard
-from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import cdf_at, empirical_cdf, median
+from repro.scenario import build, scenario
 
 DEFAULT_SEEDS = (1, 2, 3)
 
@@ -52,7 +52,7 @@ def collect_join_samples(
     dhcp_failures = 0
     successes = 0
     for seed in seeds:
-        scenario = VehicularScenario(ScenarioConfig(seed=seed))
+        world = build(scenario("vehicular-amherst", seed=seed))
         config = SpiderConfig(
             schedule=schedule_for(fraction, primary_channel),
             period=period,
@@ -61,8 +61,8 @@ def collect_join_samples(
             dhcp_attempt_window=dhcp_attempt_window,
             lease_cache_enabled=lease_cache,
         )
-        driver = scenario.make_spider(config)
-        scenario.run(driver, duration)
+        driver = world.make_spider(config)
+        world.run(driver, duration)
         for record in driver.join_log.records:
             if record.channel != primary_channel:
                 continue

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import LabScenario
+from repro.scenario import build, scenario
 
 DEFAULT_FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
 
@@ -26,7 +26,7 @@ def run_one(
     seed: int = 7,
 ) -> float:
     """Average TCP throughput (kb/s) at one primary-channel fraction."""
-    lab = LabScenario(seed=seed)
+    lab = build(scenario("lab", seed=seed))
     lab.add_lab_ap("primary", 1, backhaul_bps)
     if fraction >= 1.0:
         schedule = {1: 1.0}

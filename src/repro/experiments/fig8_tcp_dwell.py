@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import LabScenario
+from repro.scenario import build, scenario
 
 DEFAULT_DWELLS = (0.025, 0.05, 0.1, 0.2, 0.3, 0.4)
 
@@ -23,7 +23,7 @@ def run_one(
     backhaul_bps: float = 4e6,
     seed: int = 7,
 ) -> float:
-    lab = LabScenario(seed=seed)
+    lab = build(scenario("lab", seed=seed))
     lab.add_lab_ap("primary", 1, backhaul_bps)
     spider = lab.make_spider(
         SpiderConfig(

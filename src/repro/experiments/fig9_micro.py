@@ -21,21 +21,21 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import LabScenario
+from repro.scenario import World, build, scenario
 
 DEFAULT_BACKHAULS = (0.5e6, 1e6, 2e6, 3e6, 4e6, 5e6)
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 
 
-def _throughput(lab: LabScenario, driver, duration: float) -> float:
+def _throughput(lab: World, driver, duration: float) -> float:
     result = lab.run(driver, duration)
     return result.throughput_kbytes_per_s
 
 
 def run_config(name: str, backhaul_bps: float, duration: float, seed: int) -> float:
     """Average throughput (KB/s) for one configuration at one rate."""
-    lab = LabScenario(seed=seed)
+    lab = build(scenario("lab", seed=seed))
     if name == "one-card-stock":
         lab.add_lab_ap("apA", 1, backhaul_bps, index=0)
         return _throughput(lab, lab.make_stock(), duration)

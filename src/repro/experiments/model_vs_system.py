@@ -20,8 +20,8 @@ from typing import Dict, List, Sequence
 
 from repro.core.config import SpiderConfig
 from repro.exec.shards import Shard
-from repro.experiments.common import LabScenario
 from repro.model.join_model import JoinModelParams, join_success_probability
+from repro.scenario import build, scenario
 
 
 def measure_system_join_probability(
@@ -41,7 +41,7 @@ def measure_system_join_probability(
     """
     successes = 0
     for trial in range(trials):
-        lab = LabScenario(seed=1000 + trial)
+        lab = build(scenario("lab", seed=1000 + trial))
         lab.add_lab_ap("ap", 1, 2e6, beta_min=beta_min, beta_max=beta_max)
         if fraction >= 1.0:
             schedule = {1: 1.0}

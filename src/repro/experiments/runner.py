@@ -318,6 +318,58 @@ def _run_campaign(names, args) -> int:
     return 0
 
 
+def _run_digest(names, args) -> int:
+    """``spider-repro digest``: result digests for identity checking.
+
+    The digest is the SHA-256 of the canonical serialization of the
+    experiment's result dict — the same canonical form the exec cache
+    keys on — so "digest unchanged" means "byte-identical results".
+    """
+    import hashlib
+    import json
+
+    from repro.exec.cache import canonical_text
+
+    golden = None
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            golden = json.load(handle)
+        if bool(golden.get("fast", False)) != args.fast:
+            print(
+                f"error: goldens in {args.check} were recorded with "
+                f"fast={golden.get('fast')}; rerun with matching --fast",
+                file=sys.stderr,
+            )
+            return 2
+        if not names:
+            names = [n for n in golden["digests"] if n in REGISTRY]
+
+    digests: Dict[str, str] = {}
+    drift = []
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        digest = hashlib.sha256(canonical_text(result).encode()).hexdigest()
+        digests[name] = digest
+        if golden is not None:
+            want = golden["digests"].get(name)
+            status = "ok" if digest == want else ("missing" if want is None else "DRIFT")
+            if digest != want:
+                drift.append(name)
+            print(f"  {name:12s} {digest}  {status}")
+        else:
+            print(f"  {name:12s} {digest}")
+
+    if args.update:
+        with open(args.update, "w", encoding="utf-8") as handle:
+            json.dump({"fast": args.fast, "digests": digests}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"goldens -> {args.update}")
+    if drift:
+        print(f"digest drift in: {', '.join(drift)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["lint"]:
@@ -326,12 +378,19 @@ def main(argv: Optional[list] = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["scenario"]:
+        # Same pattern: the scenario CLI owns its subcommands/flags.
+        from repro.scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="spider-repro",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "command", choices=["list", "run", "campaign", "lint"], help="what to do"
+        "command",
+        choices=["list", "run", "campaign", "digest", "lint", "scenario"],
+        help="what to do",
     )
     parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
     parser.add_argument("--fast", action="store_true", help="shrunk smoke-run parameters")
@@ -356,6 +415,18 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         metavar="PATH",
         help="campaign: aggregated manifest path (default campaign-manifest.json)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="GOLDENS",
+        help="digest: compare against a committed goldens JSON (exit 1 on drift)",
+    )
+    parser.add_argument(
+        "--update",
+        default=None,
+        metavar="GOLDENS",
+        help="digest: (re)write the goldens JSON from this run",
     )
     parser.add_argument(
         "--trace",
@@ -385,6 +456,8 @@ def main(argv: Optional[list] = None) -> int:
     if not names:
         if args.command == "campaign":
             names = ["all"]
+        elif args.command == "digest" and args.check:
+            pass  # digest derives its ids from the goldens file
         else:
             parser.error("run requires experiment ids (or 'all')")
     if names == ["all"]:
@@ -393,6 +466,8 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    if args.command == "digest":
+        return _run_digest(names, args)
     if args.command == "campaign":
         return _run_campaign(names, args)
 

@@ -12,13 +12,13 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import LabScenario
 from repro.metrics.stats import mean, stdev
+from repro.scenario import build, scenario
 
 
 def run_one(interfaces: int, duration: float = 30.0, seed: int = 11) -> List[float]:
     """Switch latencies (s) observed with exactly ``interfaces`` APs."""
-    lab = LabScenario(seed=seed)
+    lab = build(scenario("lab", seed=seed))
     for index in range(interfaces):
         channel = 1 if index % 2 == 0 else 11
         lab.add_lab_ap(f"ap{index}", channel, 2e6, index=index)

@@ -22,8 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SpiderConfig
 from repro.exec.shards import Shard
-from repro.experiments.common import RunResult, ScenarioConfig, VehicularScenario
-from repro.world.deployment import BOSTON_CHANNEL_MIX, DeploymentConfig
+from repro.scenario import RunResult, ScenarioSpec, build, scenario
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 
@@ -41,27 +40,28 @@ def run_config(
     name: str,
     seed: int = 3,
     duration: float = 900.0,
-    scenario_config: Optional[ScenarioConfig] = None,
+    spec: Optional[ScenarioSpec] = None,
 ) -> RunResult:
-    """One vehicular run of a named Table 2 configuration."""
-    scenario = VehicularScenario(scenario_config or ScenarioConfig(seed=seed))
-    if name == "stock-madwifi":
-        driver = scenario.make_stock()
-    elif name == "ch6-single-ap-boston":
-        boston = ScenarioConfig(
-            seed=seed,
-            deployment=DeploymentConfig(channel_mix=dict(BOSTON_CHANNEL_MIX)),
-        )
-        scenario = VehicularScenario(boston)
-        driver = scenario.make_spider(
+    """One vehicular run of a named Table 2 configuration.
+
+    ``spec`` substitutes a custom world (any loop scenario); the
+    Boston row ignores it, since the row *is* the Boston-mix world.
+    """
+    if name == "ch6-single-ap-boston":
+        world = build(scenario("vehicular-boston", seed=seed))
+        driver = world.make_spider(
             SpiderConfig.single_channel_single_ap(channel=6, **REDUCED)
         )
     else:
-        configs = _spider_configs()
-        if name not in configs:
-            raise ValueError(f"unknown configuration: {name}")
-        driver = scenario.make_spider(configs[name])
-    return scenario.run(driver, duration)
+        world = build(spec or scenario("vehicular-amherst", seed=seed))
+        if name == "stock-madwifi":
+            driver = world.make_stock()
+        else:
+            configs = _spider_configs()
+            if name not in configs:
+                raise ValueError(f"unknown configuration: {name}")
+            driver = world.make_spider(configs[name])
+    return world.run(driver, duration)
 
 
 CONFIG_NAMES = (

@@ -23,8 +23,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import SpiderConfig
 from repro.exec.shards import Shard
-from repro.experiments.common import ScenarioConfig, VehicularScenario
 from repro.metrics.stats import mean, stdev
+from repro.scenario import build, scenario
 
 #: (label, channels, link timeout, dhcp retry timer, paper %)
 CASES: Tuple = (
@@ -45,7 +45,7 @@ def failure_rate_for(
     duration: float,
 ) -> float:
     """Message-timeout rate (%) of one vehicular run."""
-    scenario = VehicularScenario(ScenarioConfig(seed=seed))
+    world = build(scenario("vehicular-amherst", seed=seed))
     kwargs = dict(
         link_timeout=link_timeout,
         dhcp_retry_timeout=dhcp_retry,
@@ -57,8 +57,8 @@ def failure_rate_for(
         config = SpiderConfig.multi_channel_multi_ap(
             channels=tuple(channels), period=0.6, **kwargs
         )
-    driver = scenario.make_spider(config)
-    scenario.run(driver, duration)
+    driver = world.make_spider(config)
+    world.run(driver, duration)
     return driver.join_log.dhcp_message_timeout_rate() * 100.0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from repro.core.config import SpiderConfig
-from repro.experiments.common import ScenarioConfig, VehicularScenario
+from repro.scenario import build, scenario
 
 REDUCED = dict(link_timeout=0.1, dhcp_retry_timeout=0.2)
 
@@ -31,7 +31,7 @@ PAPER = {
 def run(seed: int = 3, duration: float = 900.0, cases: Sequence = CASES) -> Dict:
     rows = []
     for label, channels in cases:
-        scenario = VehicularScenario(ScenarioConfig(seed=seed))
+        world = build(scenario("vehicular-amherst", seed=seed))
         fraction = 1.0 / len(channels)
         config = SpiderConfig(
             schedule={ch: fraction for ch in channels},
@@ -39,7 +39,7 @@ def run(seed: int = 3, duration: float = 900.0, cases: Sequence = CASES) -> Dict
             multi_ap=True,
             **REDUCED,
         )
-        result = scenario.run(scenario.make_spider(config), duration)
+        result = world.run(world.make_spider(config), duration)
         rows.append(
             {
                 "label": label,

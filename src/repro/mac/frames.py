@@ -56,7 +56,7 @@ MGMT_FRAME_SIZES = {
 DATA_HEADER_BYTES = 34
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One frame on the air."""
 

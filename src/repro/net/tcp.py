@@ -34,7 +34,7 @@ def next_flow_id() -> int:
     return next(_flow_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpSegment:
     """A TCP segment (payload of a data frame or backhaul packet).
 

@@ -21,7 +21,7 @@ from repro.sim.engine import Simulator
 _stream_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpDatagram:
     """One real-time datagram."""
 

@@ -80,6 +80,10 @@ TCP_FAST_RETRANSMIT = "tcp.fast_retransmit"  # flow, cwnd, ssthresh
 TCP_SPURIOUS_RECOVERY = "tcp.spurious_recovery"  # flow, cwnd
 TCP_CWND = "tcp.cwnd"  # flow, cwnd (emitted on >= 1-segment moves)
 
+# scenario: declarative world construction and execution (repro.scenario)
+SCENARIO_BUILD = "scenario.build"  # scenario, seed, aps, spec_digest
+SCENARIO_RUN = "scenario.run"  # scenario, driver, duration
+
 # driver: join lifecycle and AP selection policy
 DRIVER_JOIN = "driver.join"  # client, ap, channel
 DRIVER_SELECT = "driver.select"  # client, ap, policy, candidates

@@ -1,0 +1,55 @@
+"""Declarative scenarios: spec → build → run.
+
+The scenario subsystem is the only place worlds get wired. A
+:class:`~repro.scenario.spec.ScenarioSpec` declares *what* to simulate
+(deployment, mobility, propagation, traffic, driver fleet, failures);
+:func:`~repro.scenario.build.build` assembles it;
+:func:`~repro.scenario.registry.scenario` names the presets; the
+``spider-repro scenario`` CLI runs ad-hoc TOML/JSON specs through the
+same path. See DESIGN.md §"Scenario subsystem".
+"""
+
+from repro.scenario.build import (
+    BuildError,
+    World,
+    build,
+    make_fleet,
+    run_spec,
+    summarize_spec_run,
+)
+from repro.scenario.registry import UnknownScenarioError, names, scenario
+from repro.scenario.results import RunResult, result_from_driver
+from repro.scenario.spec import (
+    ApSpec,
+    DeploymentSpec,
+    DriverSpec,
+    FailureSpec,
+    MobilitySpec,
+    PropagationSpec,
+    ScenarioSpec,
+    SpecError,
+    TrafficSpec,
+)
+
+__all__ = [
+    "ApSpec",
+    "BuildError",
+    "DeploymentSpec",
+    "DriverSpec",
+    "FailureSpec",
+    "MobilitySpec",
+    "PropagationSpec",
+    "RunResult",
+    "ScenarioSpec",
+    "SpecError",
+    "TrafficSpec",
+    "UnknownScenarioError",
+    "World",
+    "build",
+    "make_fleet",
+    "names",
+    "result_from_driver",
+    "run_spec",
+    "scenario",
+    "summarize_spec_run",
+]

@@ -1,0 +1,176 @@
+"""Named scenario presets.
+
+The paper's two evaluation worlds (the Amherst vehicular loop and the
+indoor lab) plus a Boston channel-mix variant and three stress
+variants that the hand-built experiment layer could never express
+without code changes. Every entry is a *factory* returning a fresh
+:class:`ScenarioSpec`, so callers can override freely without
+poisoning the preset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scenario.spec import (
+    ApSpec,
+    DeploymentSpec,
+    DriverSpec,
+    MobilitySpec,
+    PropagationSpec,
+    ScenarioSpec,
+)
+from repro.world.deployment import BOSTON_CHANNEL_MIX
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a scenario name that is not registered."""
+
+    def __init__(self, name: str, known: List[str]):
+        super().__init__(f"unknown scenario {name!r} (known: {', '.join(known)})")
+        self.name = name
+        self.known = known
+
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register(name: str) -> Callable[[Callable[[], ScenarioSpec]], Callable[[], ScenarioSpec]]:
+    def wrap(factory: Callable[[], ScenarioSpec]) -> Callable[[], ScenarioSpec]:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} registered twice")
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def scenario(name: str, **overrides) -> ScenarioSpec:
+    """A fresh spec for a named preset, with top-level field overrides.
+
+    ``scenario("vehicular-amherst", seed=7)`` is the registry spelling
+    of the old ``VehicularScenario(ScenarioConfig(seed=7))``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, names()) from None
+    return factory().with_overrides(**overrides).validated()
+
+
+#: One Spider on the paper's three orthogonal channels — the default
+#: workload for CLI runs of the vehicular presets.
+def _spider_fleet() -> tuple:
+    return (
+        DriverSpec(
+            kind="spider",
+            address="spider",
+            config={
+                # String channel keys: the canonical (TOML-able) form.
+                "schedule": {"1": 1.0 / 3.0, "6": 1.0 / 3.0, "11": 1.0 / 3.0},
+                "period": 0.6,
+                "multi_ap": True,
+            },
+        ),
+    )
+
+
+@register("vehicular-amherst")
+def vehicular_amherst() -> ScenarioSpec:
+    """The paper's outdoor testbed: downtown loop, Amherst channel mix."""
+    return ScenarioSpec(
+        name="vehicular-amherst",
+        drivers=_spider_fleet(),
+    )
+
+
+@register("vehicular-boston")
+def vehicular_boston() -> ScenarioSpec:
+    """Same loop, Cabernet's Boston channel mix (more ch-6 overlap)."""
+    return ScenarioSpec(
+        name="vehicular-boston",
+        deployment=DeploymentSpec(channel_mix=dict(BOSTON_CHANNEL_MIX)),
+        drivers=_spider_fleet(),
+    )
+
+
+@register("lab")
+def lab() -> ScenarioSpec:
+    """Indoor/static template: clean short-range channel, no APs yet.
+
+    Experiments (and ad-hoc specs) place their own APs — either in the
+    spec's ``deployment.aps`` or via ``World.add_lab_ap`` — so the
+    template deliberately ships empty.
+    """
+    return ScenarioSpec(
+        name="lab",
+        propagation=PropagationSpec(range_m=50.0, base_loss=0.02, edge_start=0.95),
+        mobility=MobilitySpec(kind="static", x=0.0, y=0.0),
+        deployment=DeploymentSpec(kind="explicit"),
+    )
+
+
+@register("dense-downtown")
+def dense_downtown() -> ScenarioSpec:
+    """Storefront-row density at crawl speed: many overlapping cells.
+
+    Twice the Amherst AP density, bigger clusters, slower traffic —
+    the regime where multi-AP aggregation pays most and per-AP slicing
+    (FatVAP-style) pays switching tax most often.
+    """
+    return ScenarioSpec(
+        name="dense-downtown",
+        mobility=MobilitySpec(kind="loop", speed=5.0),
+        deployment=DeploymentSpec(
+            density_per_km=14.0,
+            cluster_size_mean=5.0,
+            cluster_radius=35.0,
+        ),
+        drivers=_spider_fleet(),
+    )
+
+
+@register("sparse-highway")
+def sparse_highway() -> ScenarioSpec:
+    """Long fast loop with rare roadside APs: encounter-starved regime."""
+    return ScenarioSpec(
+        name="sparse-highway",
+        mobility=MobilitySpec(kind="loop", speed=25.0, route_width=2400.0, route_height=400.0),
+        deployment=DeploymentSpec(
+            density_per_km=1.5,
+            cluster_size_mean=1.5,
+            lateral_spread=120.0,
+        ),
+        drivers=_spider_fleet(),
+    )
+
+
+@register("lossy-backhaul")
+def lossy_backhaul() -> ScenarioSpec:
+    """Amherst loop over thin DSL backhauls with doubled wire latency.
+
+    Shifts the bottleneck from the air to the wire: tests whether the
+    scheduler still wins when per-AP capacity is scarce.
+    """
+    return ScenarioSpec(
+        name="lossy-backhaul",
+        wired_latency=0.15,
+        deployment=DeploymentSpec(
+            backhaul_bps_min=2.0e5,
+            backhaul_bps_max=1.5e6,
+        ),
+        drivers=_spider_fleet(),
+    )
+
+
+__all__ = [
+    "ApSpec",
+    "UnknownScenarioError",
+    "names",
+    "register",
+    "scenario",
+]

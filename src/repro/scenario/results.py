@@ -1,0 +1,57 @@
+"""Result extraction: what the evaluation metrics need from one run.
+
+:class:`RunResult` is the lingua franca between a finished driver and
+every figure/table in the evaluation. It lives in the scenario package
+because extraction is the last step of *running a scenario*;
+``repro.experiments.common`` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class RunResult:
+    """Everything the evaluation metrics need from one run."""
+
+    duration: float
+    throughput_kbytes_per_s: float
+    connectivity: float
+    connection_durations: List[float]
+    disruption_durations: List[float]
+    instantaneous_kbytes: List[float]
+    join_attempts: int
+    join_successes: int
+    dhcp_failure_rate: float
+    association_times: List[float]
+    join_times: List[float]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "throughput_KBps": round(self.throughput_kbytes_per_s, 1),
+            "connectivity_pct": round(self.connectivity * 100.0, 1),
+            "join_attempts": self.join_attempts,
+            "join_successes": self.join_successes,
+            "dhcp_failure_pct": round(self.dhcp_failure_rate * 100.0, 1),
+        }
+
+
+def result_from_driver(driver, duration: float) -> RunResult:
+    """Collect a finished driver's recorder + join log into a result."""
+    recorder = driver.recorder
+    join_log = getattr(driver, "join_log", None)
+    return RunResult(
+        duration=duration,
+        throughput_kbytes_per_s=recorder.average_throughput_kbytes_per_s(),
+        connectivity=recorder.connectivity_fraction(),
+        connection_durations=recorder.connection_durations(),
+        disruption_durations=recorder.disruption_durations(),
+        instantaneous_kbytes=recorder.instantaneous_bandwidths_kbytes(),
+        join_attempts=join_log.attempts() if join_log else 0,
+        join_successes=join_log.successes() if join_log else 0,
+        dhcp_failure_rate=join_log.dhcp_failure_rate() if join_log else 0.0,
+        association_times=join_log.association_times() if join_log else [],
+        join_times=join_log.join_times() if join_log else [],
+    )

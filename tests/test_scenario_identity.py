@@ -1,0 +1,60 @@
+"""The scenario-migration identity harness.
+
+The experiment layer now builds every world through ``repro.scenario``.
+This harness proves the refactor changed *nothing observable*: each
+experiment's fast-mode result must stay byte-identical to the digests
+recorded against the pre-refactor imperative assembly
+(``tests/goldens/experiment-digests.json``). A digest here is the
+SHA-256 of the canonical serialization of the experiment's result dict
+— the exec cache's identity — so equality means equality of every
+number in every row.
+
+fig2 (no world at all) and fig6 (the DHCP centerpiece) run in the
+default suite; the full sweep is ``-m slow``.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.cache import canonical_text
+from repro.experiments.runner import REGISTRY, run_experiment
+
+GOLDENS = Path(__file__).parent / "goldens" / "experiment-digests.json"
+
+with open(GOLDENS, encoding="utf-8") as _handle:
+    _GOLDEN = json.load(_handle)
+
+assert _GOLDEN["fast"] is True, "identity goldens must be fast-mode digests"
+
+#: Experiments cheap enough for the default (tier-1) run; the rest are
+#: identical in kind, just slower, and run under ``-m slow``.
+FAST_SUBSET = ("fig2", "fig6")
+
+
+def digest_of(name: str) -> str:
+    result = run_experiment(name, fast=True)
+    return hashlib.sha256(canonical_text(result).encode()).hexdigest()
+
+
+def test_goldens_cover_registered_experiments():
+    unknown = sorted(set(_GOLDEN["digests"]) - set(REGISTRY))
+    assert unknown == [], f"goldens reference unregistered experiments: {unknown}"
+
+
+@pytest.mark.parametrize("name", FAST_SUBSET)
+def test_fast_subset_digest_identity(name):
+    assert digest_of(name) == _GOLDEN["digests"][name], (
+        f"{name} drifted from the pre-refactor golden — a scenario-built "
+        "world no longer reproduces the imperative assembly byte for byte"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", sorted(set(_GOLDEN["digests"]) - set(FAST_SUBSET))
+)
+def test_full_digest_identity(name):
+    assert digest_of(name) == _GOLDEN["digests"][name]

@@ -374,6 +374,88 @@ class TestExperimentRegistry:
         assert "not registered" in run.findings[0].message
 
 
+class TestWorldBuildViaScenario:
+    def test_direct_medium_in_experiment_flagged(self):
+        run = lint(experiment("""
+            from repro.phy.radio import Medium
+
+            def run():
+                return Medium(None, None, None)
+        """), select=["SL007"])
+        assert len(run.findings) == 1
+        assert "repro.scenario" in run.findings[0].message
+
+    def test_package_reexport_flagged(self):
+        run = lint(experiment("""
+            from repro.mac import AccessPoint
+
+            def run():
+                return AccessPoint(None, None, None, None)
+        """), select=["SL007"])
+        assert len(run.findings) == 1
+        assert "AccessPoint" in run.findings[0].message
+
+    def test_aliased_generate_deployment_flagged(self):
+        run = lint(experiment("""
+            from repro.world.deployment import generate_deployment as gen
+
+            def run(route, config, rng):
+                return gen(route, config, rng)
+        """), select=["SL007"])
+        assert len(run.findings) == 1
+        assert "generate_deployment" in run.findings[0].message
+
+    def test_scenario_package_exempt(self):
+        run = lint(
+            unit(
+                "from repro.phy.radio import Medium\n"
+                "def build_world(sim, prop, streams):\n"
+                "    return Medium(sim, prop, streams)\n",
+                path="scenario/build2.py",
+                module="repro.scenario.build2",
+            ),
+            select=["SL007"],
+        )
+        assert run.findings == []
+
+    def test_outside_sim_scope_ignored(self):
+        run = lint(
+            unit(
+                "from repro.phy.radio import Medium\nm = Medium(None, None, None)\n",
+                path="exec/x.py",
+                module="repro.exec.x",
+            ),
+            select=["SL007"],
+        )
+        assert run.findings == []
+
+    def test_scenario_built_world_ok(self):
+        run = lint(experiment("""
+            from repro.scenario import build, scenario
+
+            def run(seed=3):
+                world = build(scenario("vehicular-amherst", seed=seed))
+                return world
+        """), select=["SL007"])
+        assert run.findings == []
+
+    def test_scenario_package_config_override(self):
+        config = LintConfig(
+            sim_scope=DEFAULT_SIM_SCOPE + ("pkg.wiring",),
+            scenario_package="pkg.wiring",
+        )
+        run = lint(
+            unit(
+                "from repro.phy.radio import Medium\nm = Medium(None, None, None)\n",
+                path="wiring/build.py",
+                module="pkg.wiring.build",
+            ),
+            config=config,
+            select=["SL007"],
+        )
+        assert run.findings == []
+
+
 class TestSuppressionsAndBaseline:
     def test_line_suppression_moves_finding_aside(self):
         run = lint(unit("""
@@ -461,7 +543,7 @@ class TestEngine:
         assert "SL003" not in rules and "SL001" in rules
 
     def test_all_documented_rules_registered(self):
-        assert {f"SL00{i}" for i in range(7)} <= set(RULES)
+        assert {f"SL00{i}" for i in range(8)} <= set(RULES)
 
     def test_module_name_for_walks_packages(self, tmp_path):
         pkg = tmp_path / "pkg" / "sub"
