@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark summary against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare.py [FRESH] [--baseline PATH] [--threshold 0.30]
+
+``FRESH`` defaults to the newest ``benchmarks/BENCH_*.json`` (the file
+``benchmarks/conftest.py`` writes at session end); the baseline defaults
+to ``benchmarks/baseline.json``. Exit status is 1 when any benchmark's
+wall time regressed by more than ``--threshold`` (fraction, default
+30%), 0 otherwise.
+
+Missing pieces degrade to warnings, never failures:
+
+- no baseline file → warn and exit 0 (a fresh checkout or a machine
+  that has not recorded one yet must not fail CI);
+- a test present on only one side → reported, not failed (benchmarks
+  get added and retired).
+
+Wall times move with the host, so the threshold is deliberately loose:
+the gate exists to catch the "accidentally reintroduced an O(#radios)
+scan" class of regression (multiples, not percents), while absorbing
+runner-to-runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+
+
+def _load_records(path: Path) -> dict:
+    """``test id -> wall_seconds`` from a BENCH/baseline summary file."""
+    payload = json.loads(path.read_text())
+    return {
+        record["test"]: float(record["wall_seconds"])
+        for record in payload.get("benchmarks", [])
+    }
+
+
+def _newest_bench(directory: Path) -> Path | None:
+    candidates = sorted(directory.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="fresh summary (default: newest benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional wall-time regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path = args.fresh or _newest_bench(BENCH_DIR)
+    if fresh_path is None or not fresh_path.exists():
+        print("compare: no fresh BENCH_*.json found — run `pytest benchmarks` first")
+        return 1
+    if not args.baseline.exists():
+        print(f"compare: no baseline at {args.baseline} — skipping (warn only)")
+        print(f"compare: to record one: cp {fresh_path} {args.baseline}")
+        return 0
+
+    baseline = _load_records(args.baseline)
+    fresh = _load_records(fresh_path)
+    print(f"compare: {fresh_path.name} vs {args.baseline.name} (threshold +{args.threshold:.0%})")
+
+    failures = []
+    for test in sorted(baseline.keys() | fresh.keys()):
+        if test not in fresh:
+            print(f"  MISSING  {test} (in baseline only)")
+            continue
+        if test not in baseline:
+            print(f"  NEW      {test} (no baseline entry)")
+            continue
+        base, now = baseline[test], fresh[test]
+        delta = (now - base) / base if base > 0 else 0.0
+        status = "ok"
+        if delta > args.threshold:
+            status = "REGRESSED"
+            failures.append((test, base, now, delta))
+        print(f"  {status:9s}{test}  {base * 1000:.1f}ms -> {now * 1000:.1f}ms ({delta:+.0%})")
+
+    if failures:
+        print(f"compare: {len(failures)} benchmark(s) regressed more than {args.threshold:.0%}")
+        return 1
+    print("compare: no wall-time regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

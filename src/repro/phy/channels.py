@@ -7,7 +7,7 @@ population overwhelmingly sits (Sec. 4.1).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 #: The three non-overlapping 2.4 GHz channels.
 ORTHOGONAL_CHANNELS: Tuple[int, int, int] = (1, 6, 11)
@@ -52,6 +52,21 @@ def channels_interfere(a: int, b: int) -> bool:
     if a not in _VALID_CHANNELS or b not in _VALID_CHANNELS:
         raise ValueError(f"invalid channel pair: {a}, {b}")
     return abs(a - b) < 5
+
+
+#: Precomputed symmetric spectral-overlap table for *distinct*
+#: interfering channel pairs: ``(a, b) → (5 − |a − b|) / 5``. The
+#: medium's hot path uses ``INTERFERENCE_OVERLAP.get(pair)`` instead of
+#: calling :func:`channels_interfere` under try/except per pair —
+#: a missing key means "no spectral interference contribution" (either
+#: orthogonal or not a valid 2.4 GHz channel), matching the historical
+#: swallow-``ValueError`` behaviour exactly.
+INTERFERENCE_OVERLAP: Dict[Tuple[int, int], float] = {
+    (a, b): (5 - abs(a - b)) / 5.0
+    for a in _VALID_CHANNELS
+    for b in _VALID_CHANNELS
+    if a != b and abs(a - b) < 5
+}
 
 
 def frame_airtime(size_bytes: int, rate_bps: float, preamble_s: float = 192e-6) -> float:

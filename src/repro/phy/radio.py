@@ -10,6 +10,17 @@ one channel, can be made *deaf* for the duration of a hardware reset
 (the Spider driver uses this to model channel-switch latency), and
 hands received frames to whatever MAC entity registered ``on_receive``.
 
+The medium is fully indexed so the delivery path does no linear work
+over the fleet (DESIGN.md §6): a per-channel registration-ordered
+index, an address→radio map, an interference-loss memo, and an
+airtime memo make per-frame cost independent of how many radios exist.
+The indexes preserve the exact per-receiver RNG draw order of the
+historical linear scans — registration order within a channel — which
+is what keeps every experiment digest byte-identical
+(``tests/goldens/*.json``). Channel retunes must go through
+``Radio.set_channel`` (never assign ``radio.channel`` directly), and
+simlint rule SL008 keeps linear scans from creeping back in.
+
 Simplifications (documented per DESIGN.md §6): no collision model —
 per-channel FIFO serialisation approximates medium sharing; frames on
 spectrally overlapping but unequal channels are not delivered (the
@@ -20,20 +31,35 @@ exact).
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import trace as tr
 from repro.phy.channels import (
     DEFAULT_DATA_RATE_BPS,
+    INTERFERENCE_OVERLAP,
     RATE_LADDER,
-    channels_interfere,
     frame_airtime,
 )
 from repro.phy.propagation import PropagationModel
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.world.geometry import distance
-from repro.world.mobility import MobilityModel
+from repro.world.mobility import MobilityModel, StaticMobility
+
+_hypot = math.hypot
+
+#: ``FrameType.DATA``, resolved on first use (importing ``mac.frames``
+#: at module load would cycle through the package imports).
+_DATA_FRAME_TYPE: Any = None
+
+
+def _data_frame_type() -> Any:
+    global _DATA_FRAME_TYPE
+    if _DATA_FRAME_TYPE is None:
+        from repro.mac.frames import FrameType
+
+        _DATA_FRAME_TYPE = FrameType.DATA
+    return _DATA_FRAME_TYPE
 
 
 class Radio:
@@ -48,6 +74,7 @@ class Radio:
         address: Optional[str] = None,
     ):
         self.medium = medium
+        self.sim: Simulator = medium.sim
         self.mobility = mobility
         self.channel = channel
         self.name = name
@@ -70,14 +97,29 @@ class Radio:
         #: hardware's TX-status "failed" report); APs use this to move
         #: the frame into the destination's power-save buffer.
         self.on_unicast_failure: Optional[Callable[[Any], None]] = None
+        #: Registration sequence number, assigned by ``Medium.register``;
+        #: the per-channel index keeps radios sorted by it so delivery
+        #: order (and the RNG draw order) matches the historical
+        #: registration-ordered scan exactly.
+        self.reg_seq: int = -1
+        #: Per-timestamp position cache: mobile positions are pure
+        #: functions of time, so within one instant every query (range
+        #: check, rate pick, fan-out) reuses one computation. Radios on
+        #: a (exactly) ``StaticMobility`` pin their position once and
+        #: for all — the AP fleet never pays a position call again.
+        self._static = type(mobility) is StaticMobility
+        self._position_time: Optional[float] = None
+        self._position_value: Any = mobility.position(0.0) if self._static else None
         medium.register(self)
 
-    @property
-    def sim(self) -> Simulator:
-        return self.medium.sim
-
     def position(self):
-        return self.mobility.position(self.sim.now)
+        if self._static:
+            return self._position_value
+        now = self.sim.now
+        if now != self._position_time:
+            self._position_time = now
+            self._position_value = self.mobility.position(now)
+        return self._position_value
 
     @property
     def deaf(self) -> bool:
@@ -85,10 +127,16 @@ class Radio:
         return self.sim.now < self.deaf_until
 
     def set_channel(self, channel: int) -> None:
-        """Retune instantly. Drivers model reset latency via go_deaf()."""
+        """Retune instantly. Drivers model reset latency via go_deaf().
+
+        This is the *only* legal way to change ``self.channel``: the
+        medium's per-channel index is maintained here.
+        """
         trace = self.sim.trace
         if trace is not None and channel != self.channel:
             trace.emit(tr.PHY_CHANNEL_SET, self.sim.now, radio=self.name, channel=channel)
+        if channel != self.channel:
+            self.medium._retune(self, self.channel, channel)
         self.channel = channel
 
     def go_deaf(self, duration: float) -> None:
@@ -108,28 +156,52 @@ class Radio:
         controller — rates are a property of the link at transmit time,
         not of when the frame was queued.
         """
-        if self.deaf:
+        if self.sim.now < self.deaf_until:
             return False
-        if getattr(frame, "bufferable", False) or getattr(frame, "needs_ack", False):
-            from repro.mac.frames import FrameType  # local: avoid cycle
-
-            if getattr(frame, "type", None) == FrameType.DATA and not frame.broadcast:
-                frame.rate_bps = self.medium.suggest_rate(self, frame.dst)
+        medium = self.medium
+        # Same predicate as the historical getattr chain, reordered so
+        # the common non-data case (beacons, probes, ACK-less mgmt)
+        # resolves on the first test.
+        ftype = _DATA_FRAME_TYPE
+        if ftype is None:
+            ftype = _data_frame_type()
+        if (
+            getattr(frame, "type", None) is ftype
+            and not frame.broadcast
+            and (getattr(frame, "bufferable", False) or getattr(frame, "needs_ack", False))
+        ):
+            frame.rate_bps = medium.suggest_rate(self, frame.dst)
         self.frames_sent += 1
-        self.tx_airtime += self.medium.airtime(frame)
-        self.medium.broadcast(self, frame)
+        self.tx_airtime += medium.airtime(frame)
+        medium.broadcast(self, frame)
         return True
 
-    def _deliver(self, frame: Any, rssi: float = -100.0) -> None:
+    def _deliver(self, frame: Any, rssi: float = -100.0, airtime: Optional[float] = None) -> None:
         self.frames_received += 1
-        self.rx_airtime += self.medium.airtime(frame)
+        self.rx_airtime += self.medium.airtime(frame) if airtime is None else airtime
         self.last_rssi = rssi
         if self.on_receive is not None:
             self.on_receive(frame)
 
 
 class Medium:
-    """The shared wireless broadcast domain."""
+    """The shared wireless broadcast domain.
+
+    Index invariants (the determinism contract — see DESIGN.md §6):
+
+    - ``_by_channel[c]`` holds exactly the registered radios tuned to
+      ``c``, iterable in *registration* order (``Radio.reg_seq``
+      ascending), no matter how often radios retune. Broadcast fan-out
+      draws per-receiver loss in this order, so it must equal the
+      historical "scan all radios in registration order, filter by
+      channel" order bit for bit.
+    - ``_by_address[a]`` holds the registered radios with address
+      ``a`` in registration order; unicast lookup takes the first
+      entry that is not the sender, as the linear scan did.
+    - ``_radios`` maps every registered radio to ``None`` in
+      registration order (dict-as-ordered-set), making ``unregister``
+      O(1).
+    """
 
     def __init__(
         self,
@@ -150,8 +222,37 @@ class Medium:
         #: is why real deployments (and the paper) stick to the
         #: orthogonal 1/6/11: frames near an active channel 3 or 9 pay.
         self.adjacent_channel_loss = adjacent_channel_loss
-        self._radios: List[Radio] = []
+        self._radios: Dict[Radio, None] = {}
+        self._by_channel: Dict[int, Dict[Radio, None]] = {}
+        self._by_address: Dict[str, List[Radio]] = {}
+        self._registrations = 0
         self._channel_busy_until: Dict[int, float] = {}
+        #: Bumped whenever ``_channel_busy_until`` changes; together
+        #: with ``sim.now`` it keys the interference-loss memo, so a
+        #: memo hit is provably identical to recomputing.
+        self._busy_version = 0
+        self._interference_key: Tuple[float, int] = (-1.0, -1)
+        self._interference_memo: Dict[int, float] = {}
+        #: Channels spectrally within 4 of some channel that has ever
+        #: carried a transmission. A channel outside this set provably
+        #: has zero interference loss (no overlapping channel is in the
+        #: busy map at all), so the common all-orthogonal case — the
+        #: paper's 1/6/11 deployments — skips the memo machinery
+        #: entirely. Synced lazily from the busy map's key set (keys
+        #: are never removed, so the key count is a faithful version).
+        self._interference_prone: set = set()
+        self._prone_synced_channels = 0
+        #: (size_bytes, rate_bps) → airtime; frames are few-shaped, so
+        #: this converges to a handful of entries per workload.
+        self._airtime_memo: Dict[Tuple[int, float], float] = {}
+        #: channel → fan-out snapshot: ``(radio, x, y)`` per registered
+        #: radio in registration order, with coordinates pre-resolved
+        #: for static radios (``None`` means "mobile — ask at delivery
+        #: time"). Invalidated whenever the channel's membership
+        #: changes; the delivery loop re-checks channel and deafness
+        #: per visit, so a cached snapshot is byte-identical to
+        #: rebuilding it from ``_by_channel``.
+        self._fanout_cache: Dict[int, List[Tuple[Radio, Optional[float], Optional[float]]]] = {}
         #: Cumulative transmit airtime per channel (s): the utilisation
         #: view the metrics registry snapshots as ``phy.airtime_s.ch*``.
         self.airtime_by_channel: Dict[int, float] = {}
@@ -168,19 +269,85 @@ class Medium:
             out[f"phy.airtime_s.ch{channel}"] = airtime
         return out
 
+    # -- registry maintenance -------------------------------------------
+
     def register(self, radio: Radio) -> None:
-        self._radios.append(radio)
+        """Add a radio; re-registering after unregister re-queues it last."""
+        if radio in self._radios:
+            return
+        radio.reg_seq = self._registrations
+        self._registrations += 1
+        self._radios[radio] = None
+        # The new radio has the highest reg_seq, so appending keeps the
+        # channel index registration-ordered.
+        self._by_channel.setdefault(radio.channel, {})[radio] = None
+        self._by_address.setdefault(radio.address, []).append(radio)
+        self._fanout_cache.pop(radio.channel, None)
 
     def unregister(self, radio: Radio) -> None:
-        if radio in self._radios:
-            self._radios.remove(radio)
+        if radio not in self._radios:
+            return
+        del self._radios[radio]
+        channel_index = self._by_channel.get(radio.channel)
+        if channel_index is not None:
+            channel_index.pop(radio, None)
+        self._fanout_cache.pop(radio.channel, None)
+        peers = self._by_address.get(radio.address)
+        if peers is not None:
+            if radio in peers:
+                peers.remove(radio)
+            if not peers:
+                del self._by_address[radio.address]
+
+    def _retune(self, radio: Radio, old_channel: int, new_channel: int) -> None:
+        """Move a radio between channel indexes (``Radio.set_channel``).
+
+        The common case — the retuning radio registered after everything
+        already on the target channel (clients retune; the AP fleet is
+        wired first) — is a plain O(1) append. When an *earlier*
+        registrant retunes onto a channel holding later ones, the index
+        is re-sorted by ``reg_seq`` so delivery order still matches the
+        historical registration-ordered scan.
+        """
+        if radio not in self._radios:
+            return  # unregistered radios may retune freely
+        self._fanout_cache.pop(old_channel, None)
+        self._fanout_cache.pop(new_channel, None)
+        old_index = self._by_channel.get(old_channel)
+        if old_index is not None:
+            old_index.pop(radio, None)
+        index = self._by_channel.setdefault(new_channel, {})
+        if index and next(reversed(index)).reg_seq > radio.reg_seq:
+            index[radio] = None
+            ordered = sorted(index, key=lambda entry: entry.reg_seq)
+            index.clear()
+            for entry in ordered:
+                index[entry] = None
+        else:
+            index[radio] = None
 
     def radios_on_channel(self, channel: int) -> List[Radio]:
-        return [radio for radio in self._radios if radio.channel == channel]
+        """Registered radios tuned to ``channel``, in registration order."""
+        index = self._by_channel.get(channel)
+        return list(index) if index else []
+
+    def _first_with_address(self, address: str, sender: Radio) -> Optional[Radio]:
+        """First-registered radio with ``address`` that is not ``sender``."""
+        for radio in self._by_address.get(address, ()):
+            if radio is not sender:
+                return radio
+        return None
+
+    # -- transmission ----------------------------------------------------
 
     def airtime(self, frame: Any) -> float:
         """Airtime including DIFS/backoff/ACK overhead approximation."""
-        return frame_airtime(frame.size_bytes, frame.rate_bps) + self.per_frame_overhead_s
+        key = (frame.size_bytes, frame.rate_bps)
+        cached = self._airtime_memo.get(key)
+        if cached is None:
+            cached = frame_airtime(key[0], key[1]) + self.per_frame_overhead_s
+            self._airtime_memo[key] = cached
+        return cached
 
     def broadcast(self, sender: Radio, frame: Any, attempt: int = 1) -> None:
         """Serialise the frame onto the channel and schedule deliveries.
@@ -192,18 +359,35 @@ class Medium:
         channel = sender.channel
         airtime = self.airtime(frame)
         self.airtime_by_channel[channel] = self.airtime_by_channel.get(channel, 0.0) + airtime
+        now = self.sim.now
         busy_until = self._channel_busy_until.get(channel, 0.0)
-        start = max(self.sim.now, busy_until)
+        start = busy_until if busy_until > now else now
         end = start + airtime
         self._channel_busy_until[channel] = end
-        self.sim.schedule(end - self.sim.now, self._complete, sender, frame, channel, attempt)
+        self._busy_version += 1
+        # Resolve the frame's delivery class (and its airtime) once,
+        # here, instead of re-running the getattr chain at completion.
+        unacked = getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False)
+        self.sim.schedule(
+            end - now, self._complete, sender, frame, channel, attempt, unacked, airtime
+        )
 
     def channel_busy_until(self, channel: int) -> float:
         return self._channel_busy_until.get(channel, 0.0)
 
-    def _complete(self, sender: Radio, frame: Any, channel: int, attempt: int) -> None:
-        if getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False):
-            self._deliver_broadcast(sender, frame, channel)
+    def _complete(
+        self,
+        sender: Radio,
+        frame: Any,
+        channel: int,
+        attempt: int,
+        unacked: Optional[bool] = None,
+        airtime: Optional[float] = None,
+    ) -> None:
+        if unacked is None:
+            unacked = getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False)
+        if unacked:
+            self._deliver_broadcast(sender, frame, channel, airtime)
             return
         self._deliver_unicast(sender, frame, channel, attempt)
 
@@ -220,59 +404,147 @@ class Medium:
         out-of-range destinations get the top rate (the frame will be
         lost anyway).
         """
-        target = None
-        for radio in self._radios:
-            if radio is not sender and radio.address == dst_address:
-                target = radio
-                break
+        target = self._first_with_address(dst_address, sender)
         if target is None:
             return DEFAULT_DATA_RATE_BPS
-        dist = distance(sender.mobility.position(self.sim.now), target.position())
+        dist = distance(sender.position(), target.position())
         fraction = dist / self.propagation.range_m
         for threshold, rate in RATE_LADDER:
             if fraction <= threshold:
                 return rate
         return RATE_LADDER[-1][1]
 
+    # -- interference ----------------------------------------------------
+
     def interference_loss(self, channel: int) -> float:
-        """Extra loss from busy spectrally-overlapping channels."""
+        """Extra loss from busy spectrally-overlapping channels.
+
+        Channels not spectrally near any ever-active channel short-
+        circuit to zero — exact, because a nonzero contribution needs a
+        busy overlapping channel, and every channel that ever carried a
+        frame marked its neighbours interference-prone. Prone channels
+        fall back to a memo per ``(sim.now, busy-map version)``: a
+        broadcast fan-out computes the loss once per completion instead
+        of once per receiver, and any change to the busy map
+        invalidates the memo, so a hit is byte-identical to
+        recomputing.
+        """
         if self.adjacent_channel_loss <= 0.0:
             return 0.0
+        if channel not in self._interference_prone:
+            busy = self._channel_busy_until
+            if len(busy) == self._prone_synced_channels:
+                return 0.0
+            # New channels became active since the last sync: mark
+            # their spectral neighbourhoods prone, then re-test.
+            prone = self._interference_prone
+            for active in busy:
+                prone.update(near for near in range(active - 4, active + 5) if near != active)
+            self._prone_synced_channels = len(busy)
+            if channel not in prone:
+                return 0.0
+        key = (self.sim.now, self._busy_version)
+        if key != self._interference_key:
+            self._interference_key = key
+            self._interference_memo = {}
+        memo = self._interference_memo
+        extra = memo.get(channel)
+        if extra is None:
+            extra = self._compute_interference(channel)
+            memo[channel] = extra
+        return extra
+
+    def _compute_interference(self, channel: int) -> float:
+        now = self.sim.now
+        loss = self.adjacent_channel_loss
+        overlap_of = INTERFERENCE_OVERLAP.get
         extra = 0.0
         for other, busy_until in self._channel_busy_until.items():
-            if other == channel or busy_until <= self.sim.now:
+            if other == channel or busy_until <= now:
                 continue
-            try:
-                overlapping = channels_interfere(channel, other)
-            except ValueError:
-                continue
-            if overlapping:
-                overlap = (5 - abs(channel - other)) / 5.0
-                extra += self.adjacent_channel_loss * overlap
+            overlap = overlap_of((channel, other))
+            if overlap is not None:
+                extra += loss * overlap
         return min(extra, 0.9)
 
     def _loss_probability(self, channel: int, dist: float) -> float:
         base = self.propagation.loss_probability(dist)
         return min(1.0, base + self.interference_loss(channel))
 
-    def _deliver_broadcast(self, sender: Radio, frame: Any, channel: int) -> None:
-        sender_pos = sender.mobility.position(self.sim.now)
-        for radio in self._radios:
-            if radio is sender or radio.channel != channel or radio.deaf:
+    # -- delivery --------------------------------------------------------
+
+    def _fanout_entries(self, channel: int) -> List[Tuple[Radio, Optional[float], Optional[float]]]:
+        """The channel's cached ``(radio, x, y)`` delivery snapshot.
+
+        Coordinates are pre-resolved for static radios (the AP fleet);
+        ``None`` marks a mobile radio whose position must be asked at
+        delivery time. Membership changes invalidate the cache, and the
+        delivery loop re-checks channel/deafness per visit, so iterating
+        a cached snapshot is byte-identical to the historical scan.
+        """
+        entries = self._fanout_cache.get(channel)
+        if entries is None:
+            entries = [
+                (radio, radio._position_value.x, radio._position_value.y)
+                if radio._static
+                else (radio, None, None)
+                for radio in self._by_channel.get(channel, ())
+            ]
+            self._fanout_cache[channel] = entries
+        return entries
+
+    def _deliver_broadcast(
+        self, sender: Radio, frame: Any, channel: int, airtime: Optional[float] = None
+    ) -> None:
+        entries = self._fanout_entries(channel)
+        if not entries:
+            return
+        now = self.sim.now
+        sender_pos = sender.position()
+        sender_x = sender_pos.x
+        sender_y = sender_pos.y
+        propagation = self.propagation
+        range_m = propagation.range_m
+        # loss_probability returns the flat floor anywhere inside the
+        # fringe; inlining that branch keeps the common case call-free.
+        fringe_start = propagation.edge_start * range_m
+        base_floor = propagation.base_loss
+        base_loss_at = propagation.loss_probability
+        extra_loss = self.interference_loss(channel)
+        frame_air = self.airtime(frame) if airtime is None else airtime
+        rssi_at = self.rssi_at
+        draw = self._rng.random
+        trace = self.sim.trace
+        # The snapshot list is never mutated in place (handlers that
+        # retune/register/unregister only *replace* it via cache
+        # invalidation), so iterating it while handlers run is safe.
+        # Channel/deafness are re-checked per radio at visit time,
+        # exactly as the historical full scan did.
+        for radio, x, y in entries:
+            if radio is sender or radio.channel != channel or now < radio.deaf_until:
                 continue
-            dist = distance(sender_pos, radio.position())
-            if not self.propagation.in_range(dist):
+            if x is None:
+                pos = radio.position()
+                x = pos.x
+                y = pos.y
+            dx = sender_x - x
+            # |dx| > range is a hypot-free reject: in the storefront-row
+            # geometries most same-channel radios are far down the road.
+            if dx > range_m or -dx > range_m:
                 continue
-            if self._rng.random() < self._loss_probability(channel, dist):
+            dist = _hypot(dx, sender_y - y)
+            if dist > range_m:
+                continue
+            loss = (base_floor if dist <= fringe_start else base_loss_at(dist)) + extra_loss
+            if draw() < (loss if loss < 1.0 else 1.0):
                 radio.frames_lost += 1
-                trace = self.sim.trace
                 if trace is not None:
                     trace.emit(
-                        tr.PHY_FRAME_DROP, self.sim.now, channel=channel,
+                        tr.PHY_FRAME_DROP, now, channel=channel,
                         dst=radio.address, reason="loss",
                     )
                 continue
-            radio._deliver(frame, self.rssi_at(dist))
+            radio._deliver(frame, rssi_at(dist), frame_air)
 
     def _deliver_unicast(self, sender: Radio, frame: Any, channel: int, attempt: int) -> None:
         """Unicast with link-layer ARQ: retry on loss up to the cap.
@@ -280,15 +552,11 @@ class Medium:
         Each retry occupies another airtime on the channel, which is
         what makes a lossy fringe expensive, not just unreliable.
         """
-        target = None
-        for radio in self._radios:
-            if radio is not sender and radio.address == frame.dst:
-                target = radio
-                break
+        target = self._first_with_address(frame.dst, sender)
         if target is None or target.channel != channel or target.deaf:
             self._report_tx_failure(sender, frame)
             return  # destination gone or off-channel
-        dist = distance(sender.mobility.position(self.sim.now), target.position())
+        dist = distance(sender.position(), target.position())
         if not self.propagation.in_range(dist):
             self._report_tx_failure(sender, frame)
             return
@@ -307,7 +575,8 @@ class Medium:
                 airtime = self.airtime(frame)
                 busy_until = self._channel_busy_until.get(channel, 0.0)
                 self._channel_busy_until[channel] = max(busy_until, self.sim.now + airtime)
-                self.sim.schedule(airtime, self._complete, sender, frame, channel, attempt + 1)
+                self._busy_version += 1
+                self.sim.schedule(airtime, self._complete, sender, frame, channel, attempt + 1, False)
             else:
                 self._report_tx_failure(sender, frame)
             return

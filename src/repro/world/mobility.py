@@ -24,11 +24,19 @@ class MobilityModel:
         raise NotImplementedError
 
     def speed(self, time: float) -> float:
-        """Instantaneous speed (m/s). Default: numeric differentiation."""
+        """Instantaneous speed (m/s). Default: numeric differentiation.
+
+        The sample interval is clamped at t=0 (positions before the
+        start of time are undefined), so the divisor must be the
+        *actual* interval: dividing the clamped span by ``2 * dt``
+        would understate speed near t=0 by up to 2×.
+        """
         dt = 1e-3
-        a = self.position(max(0.0, time - dt))
-        b = self.position(time + dt)
-        return (b - a).norm() / (2 * dt)
+        start = max(0.0, time - dt)
+        end = time + dt
+        a = self.position(start)
+        b = self.position(end)
+        return (b - a).norm() / (end - start)
 
 
 class StaticMobility(MobilityModel):

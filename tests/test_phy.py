@@ -286,3 +286,145 @@ class TestMedium:
         _radio(medium, 5, channel=6, name="b")
         _radio(medium, 9, channel=1, name="c")
         assert {r.address for r in medium.radios_on_channel(1)} == {"a", "c"}
+
+
+class TestMediumIndexes:
+    """The indexed-medium determinism contract (DESIGN.md §6).
+
+    Delivery iterates the per-channel index in *registration* order no
+    matter how radios retune, unregister, or re-register — that order
+    is the per-receiver RNG draw order, so it is what keeps experiment
+    digests byte-identical to the historical full-registry scans.
+    """
+
+    def test_channel_index_keeps_registration_order(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, channel=1, name="a")
+        b = _radio(medium, 5, channel=6, name="b")
+        c = _radio(medium, 9, channel=1, name="c")
+        assert [r.address for r in medium.radios_on_channel(1)] == ["a", "c"]
+        # b retunes onto 1: registered between a and c, so it must land
+        # between them, not at the end.
+        b.set_channel(1)
+        assert [r.address for r in medium.radios_on_channel(1)] == ["a", "b", "c"]
+        assert medium.radios_on_channel(6) == []
+
+    def test_register_retune_unregister_reregister_order(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, channel=1, name="a")
+        b = _radio(medium, 5, channel=1, name="b")
+        c = _radio(medium, 9, channel=6, name="c")
+        c.set_channel(1)  # latest registrant: appends
+        assert [r.address for r in medium.radios_on_channel(1)] == ["a", "b", "c"]
+        medium.unregister(a)
+        assert [r.address for r in medium.radios_on_channel(1)] == ["b", "c"]
+        # Re-registering is a *new* registration: a re-queues last.
+        medium.register(a)
+        assert [r.address for r in medium.radios_on_channel(1)] == ["b", "c", "a"]
+
+    def test_unregistered_radio_may_retune_freely(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, channel=1, name="a")
+        medium.unregister(a)
+        a.set_channel(6)  # must not corrupt any index
+        assert medium.radios_on_channel(6) == []
+        medium.register(a)
+        assert [r.address for r in medium.radios_on_channel(6)] == ["a"]
+        assert medium.radios_on_channel(1) == []
+
+    def test_unicast_follows_address_index_across_unregister(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, name="a")
+        b1 = _radio(medium, 10, name="b")
+        b2 = Radio(medium, StaticMobility(Point(20, 0.0)), 1, name="b2", address="b")
+        # Duplicate address: the first-registered holder wins, as the
+        # historical linear scan did.
+        assert medium._first_with_address("b", a) is b1
+        medium.unregister(b1)
+        assert medium._first_with_address("b", a) is b2
+        assert medium._first_with_address("a", a) is None  # never the sender
+
+    def test_fanout_snapshot_invalidated_by_registration(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, name="a")
+        b = _radio(medium, 10, name="b")
+        got = []
+        b.on_receive = got.append
+        a.transmit(frames.beacon("a"))
+        sim.run()
+        assert len(got) == 1
+        # A radio registered *after* a fan-out cached the snapshot must
+        # be seen by the next fan-out.
+        c = _radio(medium, 20, name="c")
+        c.on_receive = got.append
+        a.transmit(frames.beacon("a"))
+        sim.run()
+        assert len(got) == 3
+
+    def test_fanout_snapshot_invalidated_by_retune(self):
+        sim, medium = _world()
+        a = _radio(medium, 0, name="a")
+        b = _radio(medium, 10, name="b")
+        got = []
+        b.on_receive = got.append
+        a.transmit(frames.beacon("a"))
+        sim.run()
+        assert len(got) == 1
+        b.set_channel(6)
+        a.transmit(frames.beacon("a"))
+        sim.run()
+        assert len(got) == 1  # off-channel now
+        b.set_channel(1)
+        a.transmit(frames.beacon("a"))
+        sim.run()
+        assert len(got) == 2
+
+    def test_interference_memo_invalidated_same_timestamp(self):
+        sim, medium = _world()
+        r3 = _radio(medium, 0, channel=3, name="r3")
+        r6 = _radio(medium, 5, channel=6, name="r6")
+        r3.transmit(frames.beacon("r3"))  # channel 3 busy at t=0
+        partial = medium.interference_loss(5)
+        assert partial > 0.0
+        # Same sim.now, new busy channel: the memo must not serve the
+        # stale value — channel 6 overlaps 5 too.
+        r6.transmit(frames.beacon("r6"))
+        combined = medium.interference_loss(5)
+        assert combined > partial
+
+    def test_interference_memo_invalidated_by_time(self):
+        sim, medium = _world()
+        r3 = _radio(medium, 0, channel=3, name="r3")
+        _radio(medium, 5, channel=1, name="r1")
+        r3.transmit(frames.beacon("r3"))
+        assert medium.interference_loss(1) > 0.0
+        sim.run(until=10.0)  # transmission long over
+        assert medium.interference_loss(1) == 0.0
+
+    def test_interference_fast_path_sees_direct_busy_writes(self):
+        sim, medium = _world()
+        # Tests (and diagnostics) poke the busy map directly; the
+        # prone-channel fast path must still observe the new key.
+        assert medium.interference_loss(1) == 0.0
+        medium._channel_busy_until[3] = 1.0
+        assert medium.interference_loss(1) > 0.0
+
+    def test_static_position_pinned_mobile_position_cached(self):
+        from repro.world.mobility import ConstantVelocityMobility
+
+        sim, medium = _world()
+        ap = _radio(medium, 42, name="ap")
+        car = Radio(
+            medium,
+            ConstantVelocityMobility(Point(0, 0), Point(10, 0)),
+            1,
+            name="car",
+        )
+        assert ap._static and not car._static
+        assert ap.position() == Point(42, 0.0)
+        first = car.position()
+        assert car.position() is first  # memoised within the instant
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert car.position() == Point(10, 0)
+        assert ap.position() == Point(42, 0.0)

@@ -21,11 +21,17 @@ import pytest
 
 from repro.exec.cache import canonical_text
 from repro.experiments.runner import REGISTRY, run_experiment
+from repro.scenario.build import run_shard
+from repro.scenario.registry import scenario
 
 GOLDENS = Path(__file__).parent / "goldens" / "experiment-digests.json"
+SCENARIO_GOLDENS = Path(__file__).parent / "goldens" / "scenario-digests.json"
 
 with open(GOLDENS, encoding="utf-8") as _handle:
     _GOLDEN = json.load(_handle)
+
+with open(SCENARIO_GOLDENS, encoding="utf-8") as _handle:
+    _SCENARIO_GOLDEN = json.load(_handle)
 
 assert _GOLDEN["fast"] is True, "identity goldens must be fast-mode digests"
 
@@ -58,3 +64,22 @@ def test_fast_subset_digest_identity(name):
 )
 def test_full_digest_identity(name):
     assert digest_of(name) == _GOLDEN["digests"][name]
+
+
+@pytest.mark.parametrize("name", sorted(_SCENARIO_GOLDEN["digests"]))
+def test_scenario_digest_identity(name):
+    """Scenario runs must match digests recorded before the indexed medium.
+
+    These goldens (``tests/goldens/scenario-digests.json``) were
+    captured against the pre-index linear-scan ``Medium``; equality
+    proves the per-channel/address indexes, memos, and position caches
+    preserved every per-receiver RNG draw bit for bit.
+    """
+    spec = scenario(name, duration=_SCENARIO_GOLDEN["duration_s"])
+    digest = hashlib.sha256(
+        canonical_text(run_shard(spec.to_dict())).encode()
+    ).hexdigest()
+    assert digest == _SCENARIO_GOLDEN["digests"][name], (
+        f"{name} drifted from the pre-index golden — the indexed medium "
+        "no longer reproduces the linear-scan delivery byte for byte"
+    )

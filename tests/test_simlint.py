@@ -456,6 +456,63 @@ class TestWorldBuildViaScenario:
         assert run.findings == []
 
 
+class TestPhyHotPathScan:
+    def test_for_loop_over_registry_flagged(self):
+        run = lint(unit("""
+            class Medium:
+                def _deliver_broadcast(self, sender, frame, channel):
+                    for radio in self._radios:
+                        radio.deliver(frame)
+        """), select=["SL008"])
+        assert len(run.findings) == 1
+        assert "_by_channel" in run.findings[0].message
+
+    def test_snapshot_and_view_scans_flagged(self):
+        run = lint(unit("""
+            class Medium:
+                def _deliver_unicast(self, sender, frame):
+                    for radio in list(self._radios):
+                        pass
+
+                def suggest_rate(self, sender, dst):
+                    return [r for r in self._radios.keys() if r.address == dst]
+        """), select=["SL008"])
+        assert len(run.findings) == 2
+
+    def test_registry_maintenance_exempt(self):
+        run = lint(unit("""
+            class Medium:
+                def unregister(self, radio):
+                    for peer in self._radios:
+                        pass
+
+                def _retune(self, radio, old, new):
+                    ordered = sorted(self._radios, key=lambda r: r.reg_seq)
+
+                def _metrics_source(self):
+                    return sum(r.frames_sent for r in self._radios)
+        """), select=["SL008"])
+        assert run.findings == []
+
+    def test_index_iteration_ok(self):
+        run = lint(unit("""
+            class Medium:
+                def _deliver_broadcast(self, sender, frame, channel):
+                    for radio in self._by_channel.get(channel, ()):
+                        radio.deliver(frame)
+        """), select=["SL008"])
+        assert run.findings == []
+
+    def test_other_classes_ignored(self):
+        run = lint(unit("""
+            class Registry:
+                def _deliver_broadcast(self):
+                    for radio in self._radios:
+                        pass
+        """), select=["SL008"])
+        assert run.findings == []
+
+
 class TestSuppressionsAndBaseline:
     def test_line_suppression_moves_finding_aside(self):
         run = lint(unit("""
@@ -543,7 +600,7 @@ class TestEngine:
         assert "SL003" not in rules and "SL001" in rules
 
     def test_all_documented_rules_registered(self):
-        assert {f"SL00{i}" for i in range(8)} <= set(RULES)
+        assert {f"SL00{i}" for i in range(9)} <= set(RULES)
 
     def test_module_name_for_walks_packages(self, tmp_path):
         pkg = tmp_path / "pkg" / "sub"

@@ -14,6 +14,7 @@ from repro.world.geometry import Point, distance, interpolate
 from repro.world.mobility import (
     ConstantVelocityMobility,
     LoopRouteMobility,
+    MobilityModel,
     StaticMobility,
     WaypointMobility,
     rectangular_loop,
@@ -110,6 +111,23 @@ class TestMobility:
         model = LoopRouteMobility(rectangular_loop(200, 100), speed=12.0)
         # Differentiated speed matches except exactly at corners.
         assert model.speed(t) == 12.0
+
+    def test_numeric_speed_exact_at_time_zero(self):
+        # Exercise the *base-class* numeric differentiation against a
+        # known constant-velocity position function. At t < dt the
+        # backward sample clamps to 0; dividing the clamped span by the
+        # full 2*dt used to understate speed by up to 2x at t=0.
+        class PositionOnly(MobilityModel):
+            def __init__(self, inner):
+                self._inner = inner
+
+            def position(self, time):
+                return self._inner.position(time)
+
+        model = PositionOnly(ConstantVelocityMobility(Point(0, 0), Point(10, 0)))
+        assert model.speed(0.0) == pytest.approx(10.0)
+        assert model.speed(0.0005) == pytest.approx(10.0)  # inside the clamp window
+        assert model.speed(5.0) == pytest.approx(10.0)
 
 
 class TestDeployment:
