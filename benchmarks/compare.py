@@ -36,12 +36,32 @@ DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
 
 
 def _load_records(path: Path) -> dict:
-    """``test id -> wall_seconds`` from a BENCH/baseline summary file."""
+    """``test id -> wall_seconds`` from a BENCH/baseline summary file.
+
+    Malformed entries (missing keys, non-numeric wall times) are skipped
+    with a warning, not fatal — a truncated artifact from a crashed CI
+    run must not mask the benchmarks that did complete.
+    """
     payload = json.loads(path.read_text())
-    return {
-        record["test"]: float(record["wall_seconds"])
-        for record in payload.get("benchmarks", [])
-    }
+    entries = payload.get("benchmarks", []) if isinstance(payload, dict) else []
+    if not isinstance(entries, list):
+        entries = []
+    records: dict = {}
+    skipped = 0
+    for record in entries:
+        try:
+            test = record["test"]
+            wall = float(record["wall_seconds"])
+        except (TypeError, KeyError, ValueError):
+            skipped += 1
+            continue
+        if not isinstance(test, str) or not test:
+            skipped += 1
+            continue
+        records[test] = wall
+    if skipped:
+        print(f"compare: skipped {skipped} malformed entr(y/ies) in {path.name}")
+    return records
 
 
 def _newest_bench(directory: Path) -> Path | None:

@@ -32,6 +32,15 @@ DEFAULT_SIM_SCOPE: Tuple[str, ...] = (
     "repro.metrics",
 )
 
+#: Packages on the simulator hot path: every event dispatched runs code
+#: here, so observability must cost nothing when disabled (SL009).
+DEFAULT_HOTPATH_PACKAGES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.phy",
+    "repro.mac",
+    "repro.net",
+)
+
 
 @dataclass
 class LintConfig:
@@ -50,6 +59,9 @@ class LintConfig:
     registry_module: str = "repro.experiments.runner"
     #: Package allowed to construct world primitives directly (SL007).
     scenario_package: str = "repro.scenario"
+    #: Packages where trace/span emission must sit behind an
+    #: ``is not None`` guard (SL009).
+    hotpath_packages: Tuple[str, ...] = DEFAULT_HOTPATH_PACKAGES
     #: Default baseline path, relative to the config file's directory.
     baseline: str = "simlint-baseline.json"
     #: Plugin modules imported for their rule-registration side effect.
@@ -103,6 +115,8 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
         config.registry_module = str(table["registry-module"])
     if "scenario-package" in table:
         config.scenario_package = str(table["scenario-package"])
+    if "hotpath-packages" in table:
+        config.hotpath_packages = _tuple(table["hotpath-packages"], "hotpath-packages")
     if "baseline" in table:
         config.baseline = str(table["baseline"])
     if "plugins" in table:

@@ -1,0 +1,214 @@
+"""SL009: hot-path observability must be guarded (zero cost when off).
+
+Simulator hot paths — every event dispatch runs code in ``repro.sim``,
+``repro.phy``, ``repro.mac``, ``repro.net`` — follow one idiom for
+trace and span emission::
+
+    trace = self.sim.trace
+    if trace is not None:
+        trace.emit(tr.KIND, self.sim.now, ...)
+
+With observability disabled the cost is one attribute read and one
+``is`` check; nothing is formatted, allocated, or dispatched. An
+unguarded ``trace.emit(...)`` / ``spans.span(...)`` either crashes on
+``None`` or — worse — quietly taxes every simulated event. This rule
+walks each hot-path module and requires every emission to sit under an
+``is not None`` guard on its receiver.
+
+Guards are recognised structurally, not by proximity:
+
+- ``if trace is not None:`` bodies (including ``and``-conjoined tests
+  such as ``if trace is not None and channel != self.channel:``);
+- the ``else`` of ``if trace is None:`` and the statements after an
+  early ``if trace is None: return``;
+- function parameters named like a receiver (``def _trace_cwnd(self,
+  trace)``) — the caller owns the guard there, and SL009 checks the
+  caller too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import Finding, ModuleUnit, ProjectContext, Rule, Severity, register_rule
+
+#: Same receiver conventions as SL004 (taxonomy): locals/attributes the
+#: repo binds the trace bus and the span profiler to.
+_TRACE_RECEIVERS = {"trace", "bus", "_trace", "_bus"}
+_SPAN_RECEIVERS = {"spans", "profiler", "_spans", "_profiler"}
+_TRACE_METHODS = {"emit"}
+_SPAN_METHODS = {"span", "record"}
+_ALL_RECEIVERS = _TRACE_RECEIVERS | _SPAN_RECEIVERS
+
+
+def _emission(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(dotted receiver, method)`` when the call is an obs emission."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        base = value.id
+    elif isinstance(value, ast.Attribute):
+        base = value.attr
+    else:
+        return None
+    if not (
+        (func.attr in _TRACE_METHODS and base in _TRACE_RECEIVERS)
+        or (func.attr in _SPAN_METHODS and base in _SPAN_RECEIVERS)
+    ):
+        return None
+    dotted = dotted_name(value)
+    return (dotted if dotted is not None else base, func.attr)
+
+
+def _guard_sets(test: ast.expr) -> Tuple[Set[str], Set[str]]:
+    """Names proven non-None when ``test`` is (true, false)."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+    ):
+        left, right = test.left, test.comparators[0]
+        if isinstance(right, ast.Constant) and right.value is None:
+            target = left
+        elif isinstance(left, ast.Constant) and left.value is None:
+            target = right
+        else:
+            return set(), set()
+        dotted = dotted_name(target)
+        if dotted is None:
+            return set(), set()
+        if isinstance(test.ops[0], ast.IsNot):
+            return {dotted}, set()
+        if isinstance(test.ops[0], ast.Is):
+            return set(), {dotted}
+        return set(), set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        # `A and B` true ⇒ every conjunct true.
+        pos: Set[str] = set()
+        for value in test.values:
+            pos |= _guard_sets(value)[0]
+        return pos, set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        # `A or B` false ⇒ every disjunct false.
+        neg: Set[str] = set()
+        for value in test.values:
+            neg |= _guard_sets(value)[1]
+        return set(), neg
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        pos, neg = _guard_sets(test.operand)
+        return neg, pos
+    return set(), set()
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    """Does the block unconditionally leave the enclosing suite?"""
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class _Scanner:
+    """Block-structured walk carrying the set of guarded receivers."""
+
+    def __init__(self, rule: "SpanGuard", unit: ModuleUnit):
+        self.rule = rule
+        self.unit = unit
+        self.findings: List[Finding] = []
+
+    def scan(self, tree: ast.Module) -> None:
+        self._block(tree.body, set())
+
+    def _function(self, node: ast.AST) -> None:
+        # A parameter named like a receiver is the callee half of the
+        # idiom: the caller guards, then hands the live object down.
+        args = node.args  # type: ignore[attr-defined]
+        params = [arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        if args.vararg is not None:
+            params.append(args.vararg.arg)
+        if args.kwarg is not None:
+            params.append(args.kwarg.arg)
+        guarded = {param for param in params if param in _ALL_RECEIVERS}
+        self._block(node.body, guarded)  # type: ignore[attr-defined]
+
+    def _block(self, stmts: Sequence[ast.stmt], guarded: Set[str]) -> None:
+        guarded = set(guarded)
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                pos, neg = _guard_sets(stmt.test)
+                self._exprs(stmt.test, guarded)
+                self._block(stmt.body, guarded | pos)
+                self._block(stmt.orelse, guarded | neg)
+                # `if trace is None: return` guards everything after it.
+                if _terminates(stmt.body):
+                    guarded |= neg
+                if _terminates(stmt.orelse):
+                    guarded |= pos
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._block(stmt.body, set())
+                continue
+            for _, value in ast.iter_fields(stmt):
+                self._field(value, guarded)
+
+    def _field(self, value: object, guarded: Set[str]) -> None:
+        if isinstance(value, list):
+            if value and isinstance(value[0], ast.stmt):
+                self._block(value, guarded)
+            else:
+                for item in value:
+                    self._field(item, guarded)
+        elif isinstance(value, ast.stmt):
+            self._block([value], guarded)
+        elif isinstance(value, ast.expr):
+            self._exprs(value, guarded)
+        elif isinstance(value, ast.AST):
+            # withitem, excepthandler, keyword, arguments, match_case …
+            for _, sub in ast.iter_fields(value):
+                self._field(sub, guarded)
+
+    def _exprs(self, node: ast.AST, guarded: Set[str]) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            hit = _emission(sub)
+            if hit is None:
+                continue
+            dotted, method = hit
+            if dotted in guarded:
+                continue
+            kind = "span profiling" if method in _SPAN_METHODS else "trace emission"
+            self.findings.append(
+                self.rule.finding(
+                    self.unit.path,
+                    sub,
+                    f"unguarded {kind} `{dotted}.{method}(...)` on the hot path — "
+                    f"bind the handle to a local and emit under "
+                    f"`if {dotted} is not None:` so disabled observability "
+                    "costs one attribute read",
+                )
+            )
+
+
+@register_rule
+class SpanGuard(Rule):
+    id = "SL009"
+    name = "span-guard"
+    severity = Severity.ERROR
+    description = "hot-path trace/span emission must sit behind an `is not None` guard"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        if not unit.in_package(project.config.hotpath_packages):
+            return
+        if unit.module == project.config.taxonomy_module:
+            return  # the bus emits on itself; there is nothing to guard
+        scanner = _Scanner(self, unit)
+        scanner.scan(unit.tree)
+        yield from scanner.findings

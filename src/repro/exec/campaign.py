@@ -17,7 +17,7 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache
 from repro.exec.shards import ShardPlan, build_plan
@@ -29,6 +29,7 @@ from repro.exec.workers import (
     ShardOutcome,
     execute_shards,
 )
+from repro.obs.spans import SPAN_EXPERIMENT, current_profiler
 
 
 @dataclass
@@ -62,18 +63,51 @@ class ExperimentExecution:
             f" wall={self.wall_seconds:.2f}s"
         )
 
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first, summed over executed shards."""
+        return sum(
+            max(0, outcome.attempts - 1)
+            for outcome in self.outcomes
+            if outcome.source != SOURCE_CACHE
+        )
 
-def execute_experiment(
-    name: str,
-    fast: bool = False,
-    overrides: Optional[Dict] = None,
-    jobs: int = 1,
-    cache: Optional[ResultCache] = None,
-    policy: Optional[ExecPolicy] = None,
-    on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
-) -> ExperimentExecution:
-    """Run one experiment through the exec engine; returns its result
-    dict (identical to ``run_experiment``'s) plus shard accounting."""
+    def telemetry(self) -> Dict:
+        """Execution telemetry for the run manifest: where shards came
+        from, how often they retried, and where their time went."""
+        return {
+            "shards": self.shards_total,
+            "cached": self.cache_hits,
+            "pool": self.count(SOURCE_POOL),
+            "inline": self.count(SOURCE_INLINE),
+            "retries": self.retries,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker_seconds": round(sum(o.worker_seconds for o in self.outcomes), 6),
+            "queue_seconds": round(sum(o.queue_seconds for o in self.outcomes), 6),
+            "shard_detail": [
+                {
+                    "key": outcome.shard.key,
+                    "source": outcome.source,
+                    "attempts": outcome.attempts,
+                    "wall": round(outcome.wall_seconds, 6),
+                    "worker": round(outcome.worker_seconds, 6),
+                    "queue": round(outcome.queue_seconds, 6),
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def resolve_plan(
+    name: str, fast: bool = False, overrides: Optional[Dict] = None
+) -> Tuple[ShardPlan, Dict]:
+    """Resolve an experiment id + overrides into ``(plan, parameters)``
+    without executing anything.
+
+    Split out of :func:`execute_experiment` so the campaign loop can
+    pre-plan every experiment up front — knowing the total shard count
+    is what makes honest progress/ETA lines possible.
+    """
     from repro.experiments import runner  # runner imports us lazily; avoid a cycle
 
     entry = runner.REGISTRY.get(name)
@@ -84,13 +118,35 @@ def execute_experiment(
     runner._validate_overrides(name, module, overrides)
     kwargs = dict(entry["fast"]) if fast else {}
     kwargs.update(overrides)
+    return build_plan(name, module, kwargs), kwargs
+
+
+def execute_experiment(
+    name: str,
+    fast: bool = False,
+    overrides: Optional[Dict] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[ExecPolicy] = None,
+    on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
+    plan: Optional[ShardPlan] = None,
+    parameters: Optional[Dict] = None,
+) -> ExperimentExecution:
+    """Run one experiment through the exec engine; returns its result
+    dict (identical to ``run_experiment``'s) plus shard accounting.
+
+    ``plan``/``parameters`` accept a pre-resolved :func:`resolve_plan`
+    result so the campaign loop does not plan twice.
+    """
+    if plan is None:
+        plan, parameters = resolve_plan(name, fast=fast, overrides=overrides)
+    kwargs = dict(parameters or {})
 
     if policy is None:
         policy = ExecPolicy(jobs=jobs)
     else:
         policy.jobs = jobs
 
-    plan = build_plan(name, module, kwargs)
     started = time.perf_counter()
     outcomes = execute_shards(
         plan.module_name,
@@ -139,6 +195,24 @@ class CampaignResult:
             f" wall={self.wall_seconds:.2f}s"
         )
 
+    def telemetry(self) -> Dict:
+        """Campaign-level execution counters (per-experiment detail
+        lives in each run manifest's own ``telemetry``)."""
+        return {
+            "shards": self.shards_total,
+            "cached": self.cache_hits,
+            "pool": sum(e.count(SOURCE_POOL) for e in self.executions),
+            "inline": sum(e.count(SOURCE_INLINE) for e in self.executions),
+            "retries": sum(e.retries for e in self.executions),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker_seconds": round(
+                sum(o.worker_seconds for e in self.executions for o in e.outcomes), 6
+            ),
+            "queue_seconds": round(
+                sum(o.queue_seconds for e in self.executions for o in e.outcomes), 6
+            ),
+        }
+
 
 def run_campaign(
     names: Sequence[str],
@@ -154,32 +228,63 @@ def run_campaign(
     ``progress`` receives one line per completed shard and per
     experiment boundary; ``on_experiment`` fires after each experiment
     merges (the CLI prints the paper report there).
+
+    The whole campaign is planned up front (plans are pure, no
+    simulation runs), so every shard line carries campaign-wide
+    progress ``[done/total]`` and — once one shard has completed — an
+    ETA extrapolated from the observed per-shard rate.
     """
     campaign = CampaignResult(jobs=jobs, cache_stats=None)
     started = time.perf_counter()
-    for position, name in enumerate(names, start=1):
+    profiler = current_profiler()
+
+    plans = [resolve_plan(name, fast=fast) for name in names]
+    shards_planned = sum(len(plan) for plan, _ in plans)
+    done_total = 0
+
+    for position, (name, (plan, parameters)) in enumerate(zip(names, plans), start=1):
         if progress is not None:
-            progress(f"[{position}/{len(names)}] {name}: planning")
+            progress(
+                f"[{position}/{len(names)}] {name}: {len(plan)} shard(s),"
+                f" {shards_planned - done_total} of {shards_planned} left in campaign"
+            )
         done = 0
 
         def on_outcome(outcome: ShardOutcome, name: str = name) -> None:
-            nonlocal done
+            nonlocal done, done_total
             done += 1
+            done_total += 1
             if progress is not None:
+                elapsed = time.perf_counter() - started
+                remaining = shards_planned - done_total
+                eta = ""
+                if remaining > 0 and elapsed > 0:
+                    eta = f" eta={elapsed / done_total * remaining:.0f}s"
                 progress(
                     f"  {name} shard {outcome.shard.key} -> {outcome.source}"
                     f" ({done} done, attempts={outcome.attempts},"
                     f" {outcome.wall_seconds:.2f}s)"
+                    f" [{done_total}/{shards_planned}{eta}]"
                 )
 
-        execution = execute_experiment(
-            name,
-            fast=fast,
-            jobs=jobs,
-            cache=cache,
-            policy=policy,
-            on_outcome=on_outcome,
-        )
+        def run_one() -> ExperimentExecution:
+            return execute_experiment(
+                name,
+                fast=fast,
+                jobs=jobs,
+                cache=cache,
+                policy=policy,
+                on_outcome=on_outcome,
+                plan=plan,
+                parameters=parameters,
+            )
+
+        if profiler is not None:
+            with profiler.span(SPAN_EXPERIMENT, experiment=name, shards=len(plan)) as span:
+                execution = run_one()
+                span.add(cached=execution.cache_hits, retries=execution.retries)
+        else:
+            execution = run_one()
         campaign.executions.append(execution)
         if progress is not None:
             progress(f"  {execution.summary_line()}")
@@ -190,8 +295,15 @@ def run_campaign(
     return campaign
 
 
-def campaign_manifest(campaign: CampaignResult, fast: bool, started_at: float) -> Dict:
-    """The aggregated obs manifest: per-experiment manifests + totals."""
+def campaign_manifest(
+    campaign: CampaignResult, fast: bool, started_at: float, spans: Optional[object] = None
+) -> Dict:
+    """The aggregated obs manifest: per-experiment manifests + totals.
+
+    Each experiment entry carries its shard telemetry; the campaign
+    level carries the aggregated counters and, when a span profiler
+    ran, the wall-time span tree under ``spans``.
+    """
     from repro.obs.report import build_campaign_manifest, build_manifest
 
     manifests = [
@@ -204,10 +316,11 @@ def campaign_manifest(campaign: CampaignResult, fast: bool, started_at: float) -
             jobs=execution.jobs,
             shards_total=execution.shards_total,
             shards_cached=execution.cache_hits,
+            telemetry=execution.telemetry(),
         )
         for execution in campaign.executions
     ]
-    return build_campaign_manifest(
+    manifest = build_campaign_manifest(
         manifests,
         started_at=started_at,
         wall_seconds=campaign.wall_seconds,
@@ -215,4 +328,8 @@ def campaign_manifest(campaign: CampaignResult, fast: bool, started_at: float) -
         shards_total=campaign.shards_total,
         shards_cached=campaign.cache_hits,
         cache_stats=campaign.cache_stats,
+        telemetry=campaign.telemetry(),
     )
+    if spans is not None:
+        manifest["spans"] = spans.to_dict()
+    return manifest

@@ -33,6 +33,7 @@ summary, just not intra-experiment parallelism.
 from __future__ import annotations
 
 import importlib
+import time
 import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence
@@ -112,3 +113,16 @@ def invoke_shard(module_name: str, func_name: str, params: Dict[str, Any]) -> An
     """
     module = importlib.import_module(module_name)
     return getattr(module, func_name)(**params)
+
+
+def invoke_shard_timed(module_name: str, func_name: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Like :func:`invoke_shard`, but measures the worker-side wall time.
+
+    Returns ``{"result": ..., "worker_seconds": ...}``. The caller's
+    submit-to-result wall clock includes queue wait and IPC; subtracting
+    the worker-side figure separates "the shard was slow" from "the
+    shard waited for a worker" in the telemetry.
+    """
+    started = time.perf_counter()
+    result = invoke_shard(module_name, func_name, params)
+    return {"result": result, "worker_seconds": time.perf_counter() - started}

@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.exec.cache import ResultCache
-from repro.exec.shards import Shard, invoke_shard
+from repro.exec.shards import Shard, invoke_shard, invoke_shard_timed
+from repro.obs.spans import SPAN_EXEC_CACHE, SPAN_EXEC_SHARD, SPAN_EXEC_SHARDS, current_profiler
 
 #: How a shard's result was obtained.
 SOURCE_CACHE = "cache"
@@ -72,13 +73,22 @@ class ExecPolicy:
 
 @dataclass
 class ShardOutcome:
-    """One shard's result plus how it was obtained."""
+    """One shard's result plus how it was obtained.
+
+    ``wall_seconds`` is submit-to-result as seen by the orchestrator;
+    ``worker_seconds`` is the time the shard function itself ran (in
+    the worker process for pooled shards); ``queue_seconds`` is the
+    difference — pool queue wait plus IPC — clamped at zero. Cached
+    shards report all three as 0.0.
+    """
 
     shard: Shard
     result: Any
     source: str
     attempts: int
     wall_seconds: float
+    worker_seconds: float = 0.0
+    queue_seconds: float = 0.0
 
 
 def execute_shards(
@@ -94,29 +104,62 @@ def execute_shards(
 
     Raises :class:`ShardError` if any shard fails on all attempts —
     partial evaluations are worse than loud failures.
+
+    With an ambient :class:`~repro.obs.spans.SpanProfiler` installed,
+    the call is wrapped in an ``exec.shards`` span, the cache scan in
+    an ``exec.cache`` span, and every outcome is recorded as a
+    retroactive ``exec.shard`` span on its own ``shard:<key>`` lane.
     """
     policy = policy or ExecPolicy()
+    profiler = current_profiler()
     outcomes: List[Optional[ShardOutcome]] = [None] * len(shards)
 
     def finish(index: int, outcome: ShardOutcome) -> None:
         outcomes[index] = outcome
+        if profiler is not None:
+            t1 = profiler.now()
+            profiler.record(
+                SPAN_EXEC_SHARD,
+                t1 - outcome.wall_seconds,
+                t1,
+                key=outcome.shard.key,
+                source=outcome.source,
+                attempts=outcome.attempts,
+                worker=round(outcome.worker_seconds, 6),
+                queue=round(outcome.queue_seconds, 6),
+                lane=f"shard:{outcome.shard.key}",
+            )
         if on_outcome is not None:
             on_outcome(outcome)
 
     pending: List[int] = []
-    for index, shard in enumerate(shards):
-        if cache is not None:
-            hit, result = cache.get(experiment, shard.key, shard.params)
-            if hit:
-                finish(index, ShardOutcome(shard, result, SOURCE_CACHE, 0, 0.0))
-                continue
-        pending.append(index)
 
-    if pending:
-        if policy.jobs <= 1 or len(pending) == 1:
-            _run_inline(module_name, func_name, shards, pending, policy, experiment, finish)
-        else:
-            _run_pooled(module_name, func_name, shards, pending, policy, experiment, finish)
+    def scan_cache() -> None:
+        for index, shard in enumerate(shards):
+            if cache is not None:
+                hit, result = cache.get(experiment, shard.key, shard.params)
+                if hit:
+                    finish(index, ShardOutcome(shard, result, SOURCE_CACHE, 0, 0.0))
+                    continue
+            pending.append(index)
+
+    def execute_pending() -> None:
+        if pending:
+            if policy.jobs <= 1 or len(pending) == 1:
+                _run_inline(module_name, func_name, shards, pending, policy, experiment, finish)
+            else:
+                _run_pooled(module_name, func_name, shards, pending, policy, experiment, finish)
+
+    if profiler is not None:
+        with profiler.span(SPAN_EXEC_SHARDS, experiment=experiment, shards=len(shards)) as span:
+            with profiler.span(SPAN_EXEC_CACHE, experiment=experiment) as cache_span:
+                scan_cache()
+                cache_span.add(hits=len(shards) - len(pending), pending=len(pending))
+            execute_pending()
+            span.add(cached=len(shards) - len(pending))
+    else:
+        scan_cache()
+        execute_pending()
 
     if cache is not None:
         for outcome in outcomes:
@@ -145,6 +188,7 @@ def _run_inline(
         started = time.perf_counter()
         while True:
             attempts += 1
+            attempt_started = time.perf_counter()
             try:
                 result = invoke_shard(module_name, func_name, shard.params)
             except Exception as exc:
@@ -154,8 +198,20 @@ def _run_inline(
                 if backoff > 0:
                     policy.sleep(backoff)
                 continue
-            wall = time.perf_counter() - started
-            finish(index, ShardOutcome(shard, result, SOURCE_INLINE, attempts, wall))
+            now = time.perf_counter()
+            # Wall includes failed attempts and backoff; worker is the
+            # successful attempt alone. No queue: nothing waited.
+            finish(
+                index,
+                ShardOutcome(
+                    shard,
+                    result,
+                    SOURCE_INLINE,
+                    attempts,
+                    now - started,
+                    worker_seconds=now - attempt_started,
+                ),
+            )
             break
 
 
@@ -183,7 +239,7 @@ def _run_pooled(
         for index in pending:
             started[index] = time.perf_counter()
             futures[index] = pool.submit(
-                invoke_shard, module_name, func_name, shards[index].params
+                invoke_shard_timed, module_name, func_name, shards[index].params
             )
         for index in pending:
             shard = shards[index]
@@ -206,9 +262,21 @@ def _run_pooled(
                     break
                 attempts += 1
                 try:
-                    result = futures[index].result(timeout=policy.shard_timeout)
+                    payload = futures[index].result(timeout=policy.shard_timeout)
                     wall = time.perf_counter() - started[index]
-                    finish(index, ShardOutcome(shard, result, SOURCE_POOL, attempts, wall))
+                    worker = payload["worker_seconds"]
+                    finish(
+                        index,
+                        ShardOutcome(
+                            shard,
+                            payload["result"],
+                            SOURCE_POOL,
+                            attempts,
+                            wall,
+                            worker_seconds=worker,
+                            queue_seconds=max(0.0, wall - worker),
+                        ),
+                    )
                     break
                 except BrokenExecutor:
                     pool_dead = True
@@ -219,19 +287,30 @@ def _run_pooled(
                     failure = exc
                 if attempts > policy.max_retries:
                     # Last resort before giving up: one in-process try.
+                    attempt_started = time.perf_counter()
                     try:
                         result = invoke_shard(module_name, func_name, shard.params)
                     except Exception as final_exc:
                         raise ShardError(experiment, shard, attempts + 1, final_exc) from final_exc
-                    wall = time.perf_counter() - started[index]
-                    finish(index, ShardOutcome(shard, result, SOURCE_INLINE, attempts + 1, wall))
+                    now = time.perf_counter()
+                    finish(
+                        index,
+                        ShardOutcome(
+                            shard,
+                            result,
+                            SOURCE_INLINE,
+                            attempts + 1,
+                            now - started[index],
+                            worker_seconds=now - attempt_started,
+                        ),
+                    )
                     break
                 backoff = policy.backoff(attempts)
                 if backoff > 0:
                     policy.sleep(backoff)
                 try:
                     futures[index] = pool.submit(
-                        invoke_shard, module_name, func_name, shard.params
+                        invoke_shard_timed, module_name, func_name, shard.params
                     )
                 except BrokenExecutor:
                     pool_dead = True

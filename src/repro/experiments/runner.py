@@ -23,12 +23,24 @@ Observability flags (see ``docs: Observability``):
   and exports them as JSONL (default path ``<name>-trace.jsonl``);
 - ``--metrics`` prints the metrics-registry snapshot after each run;
 - ``--profile`` wraps the run in cProfile and prints the top of the
-  cumulative-time table.
+  cumulative-time table;
+- ``--spans [PATH]`` records the hierarchical wall-time span tree
+  (scenario build, sim run, per-shard execution) as JSON (default
+  ``<name>-spans.json``) and prints it as an indented tree;
+- ``--flight [PATH]`` arms the crash flight recorder: if the run
+  raises, a post-mortem JSON (last trace events per layer, open span
+  stack, error) is written (default ``<name>-crash.json``).
 
-Any of the three also prints a one-line run manifest (parameters, git
-SHA, wall-clock, simulated-event throughput). Trace/metrics need the
+Any of these also prints a one-line run manifest (parameters, git SHA,
+wall-clock, simulated-event throughput). Trace/metrics/flight need the
 simulators in-process, so they force shards inline (``--jobs`` is
-ignored with a note).
+ignored with a note); ``--spans`` composes with worker pools — the
+per-shard spans are recorded on the orchestrator side.
+
+Artifact post-processing lives in delegated sub-CLIs:
+``spider-repro trace export RUN-trace.jsonl --chrome`` converts traces
+and span trees to Perfetto-compatible JSON, and ``spider-repro perf``
+renders the benchmark trend/regression report over ``BENCH_*.json``.
 """
 
 from __future__ import annotations
@@ -206,28 +218,55 @@ def _make_cache(args):
     return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
 
+def _flag_path(value: Optional[str], default: str) -> str:
+    """Resolve an optional-argument flag value (``auto`` → default)."""
+    return value if value not in (None, "auto", "") else default
+
+
 def _run_observed(name: str, args) -> None:
     """Run one experiment with the requested observability attached."""
+    from repro.obs.flight import FlightRecorder, dump_postmortem
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.report import build_manifest, observe, profile_call
+    from repro.obs.spans import SPAN_EXPERIMENT, SpanProfiler
     from repro.obs.trace import TraceBus, TraceRecorder, write_jsonl
 
-    observed = args.trace is not None or args.metrics or args.profile
+    observed = (
+        args.trace is not None
+        or args.metrics
+        or args.profile
+        or args.spans is not None
+        or args.flight is not None
+    )
+    #: These observers consume events in this process, so shards must
+    #: stay inline; --spans alone composes with pools (per-shard spans
+    #: are recorded orchestrator-side).
+    inline_only = (
+        args.trace is not None or args.metrics or args.profile or args.flight is not None
+    )
     exec_mode = _exec_requested(args)
     execution = None
+    profiler: Optional[SpanProfiler] = SpanProfiler() if args.spans is not None else None
 
     def compute():
         """The experiment run, through repro.exec when requested."""
         nonlocal execution
         if not exec_mode:
+            if profiler is not None:
+                with profiler.span(SPAN_EXPERIMENT, experiment=name, fast=args.fast):
+                    return run_experiment(name, fast=args.fast)
             return run_experiment(name, fast=args.fast)
         from repro.exec import execute_experiment
 
         jobs = args.jobs or 1
-        if observed and jobs > 1:
-            # Trace buses and metrics registries live in this process;
-            # worker processes would simulate where they can't be seen.
-            print("note: --trace/--metrics/--profile run shards in-process; ignoring --jobs")
+        if inline_only and jobs > 1:
+            # Trace buses, metrics registries, and flight recorders live
+            # in this process; worker processes would simulate where
+            # they can't be seen.
+            print(
+                "note: --trace/--metrics/--profile/--flight run shards in-process;"
+                " ignoring --jobs"
+            )
             jobs = 1
         execution = execute_experiment(name, fast=args.fast, jobs=jobs, cache=_make_cache(args))
         return execution.result
@@ -244,14 +283,31 @@ def _run_observed(name: str, args) -> None:
     if args.trace is not None:
         bus = TraceBus()
         recorder = TraceRecorder(bus)
+    flight: Optional[FlightRecorder] = None
+    if args.flight is not None:
+        bus = bus or TraceBus()  # the recorder needs a bus even without --trace
+        flight = FlightRecorder(bus)
     registry = MetricsRegistry()
 
     started = time.time()
-    with observe(trace=bus, metrics=registry):
-        if args.profile:
-            result, profile_text = profile_call(compute)
-        else:
-            result, profile_text = compute(), None
+    try:
+        with observe(trace=bus, metrics=registry, spans=profiler, flight=flight):
+            if args.profile:
+                result, profile_text = profile_call(compute)
+            else:
+                result, profile_text = compute(), None
+    except Exception as exc:
+        if flight is not None:
+            crash_path = _flag_path(args.flight, f"{name}-crash.json")
+            dump_postmortem(
+                crash_path,
+                exc,
+                recorder=flight,
+                profiler=profiler,
+                context={"experiment": name, "fast": args.fast},
+            )
+            print(f"flight recorder: post-mortem -> {crash_path}", file=sys.stderr)
+        raise
     wall = time.time() - started
 
     print_experiment(name, result)
@@ -265,9 +321,16 @@ def _run_observed(name: str, args) -> None:
         print()
         print(profile_text.rstrip())
     if recorder is not None:
-        path = args.trace if args.trace not in ("auto", "") else f"{name}-trace.jsonl"
+        path = _flag_path(args.trace, f"{name}-trace.jsonl")
         count = write_jsonl(recorder.events, path)
         print(f"trace: {count} events -> {path}")
+    if profiler is not None:
+        spans_path = _flag_path(args.spans, f"{name}-spans.json")
+        profiler.write(spans_path)
+        print(f"spans: {profiler.spans_recorded} -> {spans_path}")
+        tree = profiler.format_tree()
+        if tree:
+            print(tree)
 
     entry = REGISTRY[name]
     manifest = build_manifest(
@@ -281,38 +344,69 @@ def _run_observed(name: str, args) -> None:
         jobs=execution.jobs if execution is not None else 1,
         shards_total=execution.shards_total if execution is not None else 0,
         shards_cached=execution.cache_hits if execution is not None else 0,
+        telemetry=execution.telemetry() if execution is not None else None,
     )
     print(manifest.summary())
     if recorder is not None:
         manifest_path = (
-            args.trace if args.trace not in ("auto", "") else f"{name}-trace.jsonl"
-        ).rsplit(".", 1)[0] + "-manifest.json"
+            _flag_path(args.trace, f"{name}-trace.jsonl").rsplit(".", 1)[0] + "-manifest.json"
+        )
         manifest.write(manifest_path)
         print(f"manifest -> {manifest_path}")
 
 
 def _run_campaign(names, args) -> int:
-    """``spider-repro campaign``: the whole evaluation, fanned out."""
+    """``spider-repro campaign``: the whole evaluation, fanned out.
+
+    Prints per-shard progress with campaign-wide ``[done/total]``
+    counters and an ETA, and writes the aggregated manifest including
+    per-experiment shard telemetry. ``--spans`` additionally records
+    the campaign's wall-time span tree (one ``shard:<key>`` lane per
+    executed shard); ``--flight`` arms a crash post-mortem dump.
+    """
     from repro.exec import campaign_manifest, run_campaign
-    from repro.obs.report import write_campaign_manifest
+    from repro.obs.flight import FlightRecorder, dump_postmortem
+    from repro.obs.report import observe, write_campaign_manifest
+    from repro.obs.spans import SpanProfiler
+    from repro.obs.trace import TraceBus
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = _make_cache(args)
+    profiler = SpanProfiler() if args.spans is not None else None
+    flight = FlightRecorder(TraceBus()) if args.flight is not None else None
     started = time.time()
-    campaign = run_campaign(
-        names,
-        fast=args.fast,
-        jobs=jobs,
-        cache=cache,
-        progress=print,
-        on_experiment=lambda execution: (
-            print_experiment(execution.name, execution.result),
-            print(),
-        ),
-    )
-    manifest = campaign_manifest(campaign, fast=args.fast, started_at=started)
+    try:
+        with observe(spans=profiler, flight=flight):
+            campaign = run_campaign(
+                names,
+                fast=args.fast,
+                jobs=jobs,
+                cache=cache,
+                progress=print,
+                on_experiment=lambda execution: (
+                    print_experiment(execution.name, execution.result),
+                    print(),
+                ),
+            )
+    except Exception as exc:
+        if flight is not None:
+            crash_path = _flag_path(args.flight, "campaign-crash.json")
+            dump_postmortem(
+                crash_path,
+                exc,
+                recorder=flight,
+                profiler=profiler,
+                context={"campaign": list(names), "fast": args.fast, "jobs": jobs},
+            )
+            print(f"flight recorder: post-mortem -> {crash_path}", file=sys.stderr)
+        raise
+    manifest = campaign_manifest(campaign, fast=args.fast, started_at=started, spans=profiler)
     manifest_path = args.manifest or "campaign-manifest.json"
     write_campaign_manifest(manifest, manifest_path)
+    if profiler is not None:
+        spans_path = _flag_path(args.spans, "campaign-spans.json")
+        profiler.write(spans_path)
+        print(f"spans: {profiler.spans_recorded} -> {spans_path}")
     print(campaign.summary_line())
     print(f"manifest -> {manifest_path}")
     return 0
@@ -383,13 +477,23 @@ def main(argv: Optional[list] = None) -> int:
         from repro.scenario.cli import main as scenario_main
 
         return scenario_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        # Trace/span artifact post-processing (Perfetto export).
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
+    if argv[:1] == ["perf"]:
+        # Benchmark trend/regression report over BENCH_*.json files.
+        from repro.obs.cli import perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="spider-repro",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "command",
-        choices=["list", "run", "campaign", "digest", "lint", "scenario"],
+        choices=["list", "run", "campaign", "digest", "lint", "scenario", "trace", "perf"],
         help="what to do",
     )
     parser.add_argument("experiments", nargs="*", help="experiment ids (or 'all')")
@@ -441,6 +545,22 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--profile", action="store_true", help="profile the run and print hotspots"
+    )
+    parser.add_argument(
+        "--spans",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="record the wall-time span tree as JSON (default <name>-spans.json)",
+    )
+    parser.add_argument(
+        "--flight",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="arm the crash flight recorder (post-mortem default <name>-crash.json)",
     )
     args = parser.parse_args(argv)
 

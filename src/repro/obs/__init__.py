@@ -1,27 +1,45 @@
-"""Observability: structured tracing, metrics, and run provenance.
+"""Observability: structured tracing, metrics, spans, and provenance.
 
 - :mod:`repro.obs.trace` — the typed event bus and JSONL export;
 - :mod:`repro.obs.metrics` — named counters/gauges/histograms;
+- :mod:`repro.obs.spans` — hierarchical wall-time span profiling;
+- :mod:`repro.obs.flight` — the bounded crash flight recorder;
+- :mod:`repro.obs.export` — Chrome trace-event / Perfetto conversion;
+- :mod:`repro.obs.perf` — benchmark trend/regression reporting;
 - :mod:`repro.obs.report` — run manifests, profiling, and the
   :func:`~repro.obs.report.observe` ambient-install context.
 """
 
+from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.flight import FlightRecorder, current_recorder, dump_postmortem, install_recorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import RunManifest, build_manifest, observe, profile_call
+from repro.obs.spans import Span, SpanProfiler, current_profiler, install_profiler
 from repro.obs.trace import TraceBus, TraceEvent, TraceRecorder, read_jsonl, write_jsonl
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunManifest",
+    "Span",
+    "SpanProfiler",
     "TraceBus",
     "TraceEvent",
     "TraceRecorder",
     "build_manifest",
+    "chrome_trace",
+    "current_profiler",
+    "current_recorder",
+    "dump_postmortem",
+    "install_profiler",
+    "install_recorder",
     "observe",
     "profile_call",
     "read_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,142 @@
+"""CLI for the second observability layer.
+
+``spider-repro trace export RUN-trace.jsonl --chrome [--spans RUN-spans.json]``
+    Convert a recorded trace (and optionally a span tree) into Chrome
+    trace-event / Perfetto JSON — open the output in ui.perfetto.dev.
+
+``spider-repro perf [BENCH_*.json ...] [--baseline PATH] [--strict]``
+    Render the perf-trajectory report over benchmark summary files
+    against the committed baseline. Warn-only unless ``--strict``.
+
+Both are delegated sub-CLIs (like ``lint`` and ``scenario``): they own
+their flags, so the experiment runner's parser never sees them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.perf import DEFAULT_THRESHOLD, load_summary, perf_report, render_text
+from repro.obs.trace import read_jsonl
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="spider-repro trace",
+        description="Work with recorded trace/span artifacts.",
+    )
+    parser.add_argument("command", choices=["export"], help="what to do")
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="trace JSONL recorded with `spider-repro run ... --trace`",
+    )
+    parser.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit Chrome trace-event / Perfetto JSON",
+    )
+    parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="PATH",
+        help="span tree JSON recorded with `spider-repro run ... --spans`",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <input stem>-perfetto.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.chrome:
+        parser.error("trace export requires a format flag (--chrome)")
+    if args.trace is None and args.spans is None:
+        parser.error("nothing to export: give a trace JSONL and/or --spans PATH")
+
+    events = read_jsonl(args.trace) if args.trace is not None else []
+    spans = None
+    if args.spans is not None:
+        spans = json.loads(Path(args.spans).read_text(encoding="utf-8"))
+
+    output = args.output
+    if output is None:
+        source = Path(args.trace if args.trace is not None else args.spans)
+        output = str(source.with_name(source.stem + "-perfetto.json"))
+    count = write_chrome_trace(output, events, spans)
+    print(f"chrome trace: {count} events -> {output}")
+    print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
+def perf_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="spider-repro perf",
+        description="Perf-trajectory report over BENCH_*.json artifacts.",
+    )
+    parser.add_argument(
+        "summaries",
+        nargs="*",
+        help="benchmark summary files (default: every benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline summary (default benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression threshold (default 0.30, same as CI)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the report as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any bench regressed beyond the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = Path("benchmarks")
+    paths = [Path(p) for p in args.summaries]
+    if not paths:
+        paths = sorted(bench_dir.glob("BENCH_*.json"))
+    missing = [p for p in paths if not p.exists()]
+    for path in missing:
+        print(f"perf: summary {path} not found — skipping")
+    paths = [p for p in paths if p.exists()]
+    if not paths:
+        print("perf: no benchmark summaries found — run `pytest benchmarks` first")
+        return 1 if args.strict else 0
+
+    baseline_path = Path(args.baseline) if args.baseline else bench_dir / "baseline.json"
+    baseline = None
+    if baseline_path.exists():
+        baseline = load_summary(baseline_path)
+    else:
+        print(f"perf: no baseline at {baseline_path} — trends only (warn only)")
+
+    report = perf_report(baseline, [load_summary(p) for p in paths], args.threshold)
+    print(render_text(report))
+    if args.json is not None:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n", encoding="utf-8")
+            print(f"report -> {args.json}")
+    return 1 if (args.strict and report["regressions"]) else 0

@@ -1,0 +1,196 @@
+"""Chrome trace-event (Perfetto) export of traces and span trees.
+
+Converts the repo's two observability artifacts — a trace JSONL (sim
+events on the simulated clock) and a span tree (harness wall time) —
+into one Chrome trace-event JSON object that opens directly in
+ui.perfetto.dev or ``chrome://tracing``.
+
+Layout:
+
+- **process 1 — "simulation (sim time)"**: every trace event becomes a
+  thread-scoped instant event (``"ph": "i"``) on one lane (thread) per
+  layer — the first dotted component of the event kind — at its global
+  bus time ``t``. One simulated second maps to one exported second
+  (the format's ``ts`` unit is microseconds).
+- **process 2 — "harness (wall time)"**: every span becomes a complete
+  event (``"ph": "X"``) with its wall-clock ``ts``/``dur``. Spans land
+  on the ``main`` lane unless they carry a ``lane`` field — per-shard
+  execution spans set ``lane="shard:<key>"``, giving one timeline row
+  per shard so pool concurrency is visible at a glance.
+
+The two processes deliberately do **not** share a clock: sim time and
+wall time are different axes, and Perfetto renders them as separate
+process groups.
+
+Reference: the public "Trace Event Format" document — only the
+JSON-object form with a ``traceEvents`` array is emitted, and only the
+``M`` (metadata), ``i`` (instant), and ``X`` (complete) phases.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .trace import TraceEvent
+
+#: Process ids of the two exported clock domains.
+PID_SIM = 1
+PID_HARNESS = 2
+
+_SCALE = 1e6  # seconds -> trace-format microseconds
+
+
+def _metadata(name: str, pid: int, value: str, tid: Optional[int] = None) -> Dict[str, Any]:
+    event: Dict[str, Any] = {"name": name, "ph": "M", "pid": pid, "args": {"name": value}}
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _sim_events(events: Sequence[TraceEvent]) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """Instant events on one lane per layer, plus the lane table."""
+    lanes: Dict[str, int] = {}
+    out: List[Dict[str, Any]] = []
+    for event in events:
+        layer = event.kind.partition(".")[0]
+        tid = lanes.get(layer)
+        if tid is None:
+            tid = lanes[layer] = len(lanes) + 1
+        out.append(
+            {
+                "name": event.kind,
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": round(event.t * _SCALE, 3),
+                "pid": PID_SIM,
+                "tid": tid,
+                "args": {"run": event.run, "sim_t": event.sim_t, **event.fields},
+            }
+        )
+    return out, lanes
+
+
+def _iter_span_dicts(spans: Iterable[Dict[str, Any]]) -> Iterable[Dict[str, Any]]:
+    pending = list(spans)
+    while pending:
+        span = pending.pop()
+        yield span
+        pending.extend(span.get("children", ()))
+
+
+def _span_events(spans_payload: Dict[str, Any]) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """Complete events on the ``main`` lane or a span's own ``lane``."""
+    lanes: Dict[str, int] = {"main": 1}
+    out: List[Dict[str, Any]] = []
+    for span in _iter_span_dicts(spans_payload.get("spans", ())):
+        fields = dict(span.get("fields", {}))
+        lane = str(fields.pop("lane", "main"))
+        tid = lanes.get(lane)
+        if tid is None:
+            tid = lanes[lane] = len(lanes) + 1
+        t0 = float(span.get("t0", 0.0))
+        t1 = span.get("t1")
+        wall = 0.0 if t1 is None else float(t1) - t0
+        out.append(
+            {
+                "name": str(span.get("name", "span")),
+                "ph": "X",
+                "ts": round(t0 * _SCALE, 3),
+                "dur": round(max(wall, 0.0) * _SCALE, 3),
+                "pid": PID_HARNESS,
+                "tid": tid,
+                "args": fields,
+            }
+        )
+    out.sort(key=lambda event: (event["tid"], event["ts"]))
+    return out, lanes
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent] = (),
+    spans: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object.
+
+    ``events`` is a loaded trace (:func:`repro.obs.trace.read_jsonl`);
+    ``spans`` is a span-tree payload (:meth:`SpanProfiler.to_dict`, or
+    the parsed ``*-spans.json`` file). Either side may be empty.
+    """
+    trace_events: List[Dict[str, Any]] = []
+
+    sim_events, sim_lanes = _sim_events(events)
+    if sim_events:
+        trace_events.append(_metadata("process_name", PID_SIM, "simulation (sim time)"))
+        for layer, tid in sorted(sim_lanes.items(), key=lambda item: item[1]):
+            trace_events.append(_metadata("thread_name", PID_SIM, layer, tid=tid))
+        trace_events.extend(sim_events)
+
+    if spans is not None:
+        span_events, span_lanes = _span_events(spans)
+        if span_events:
+            trace_events.append(_metadata("process_name", PID_HARNESS, "harness (wall time)"))
+            for lane, tid in sorted(span_lanes.items(), key=lambda item: item[1]):
+                trace_events.append(_metadata("thread_name", PID_HARNESS, lane, tid=tid))
+            trace_events.extend(span_events)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    events: Sequence[TraceEvent] = (),
+    spans: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write the export; returns the number of trace events written."""
+    payload = chrome_trace(events, spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, default=str)
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check a trace-event payload; returns a list of problems.
+
+    Covers the subset this exporter emits (object form, phases M/i/X)
+    plus the invariants Perfetto actually cares about: numeric
+    non-negative timestamps, integer pid/tid, metadata naming.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be a list"]
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("M", "i", "X"):
+            errors.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: missing integer pid")
+        if phase == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                errors.append(f"{where}: metadata name {event['name']!r} not recognised")
+            if not isinstance(event.get("args", {}).get("name"), str):
+                errors.append(f"{where}: metadata args.name missing")
+            continue
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: missing integer tid")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant scope {event.get('s')!r} invalid")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: dur must be a non-negative number, got {dur!r}")
+    return errors

@@ -1,0 +1,128 @@
+"""Crash flight recorder: the last N trace events, kept just in case.
+
+Full trace capture of a campaign is expensive and almost always
+discarded — what post-mortems actually need is the *tail*: the last
+few hundred events per layer leading up to the failure, plus where the
+harness was (the open span stack) when it died. The
+:class:`FlightRecorder` is a bounded trace-bus subscriber that keeps
+exactly that: one ``deque(maxlen=N)`` per layer (the first dotted
+component of the event kind), so a chatty layer (``phy``) cannot
+evict the sparse one (``dhcp``) that explains the crash.
+
+When an experiment or exec worker raises, :func:`dump_postmortem`
+writes a single JSON artifact containing the exception, the recorder
+tails, the open span stack (from the ambient
+:class:`~repro.obs.spans.SpanProfiler`, if any), and caller-provided
+context (experiment name, shard key, parameters).
+
+Like every obs component the recorder is opt-in: nothing subscribes
+it by default, and the harness consults the ambient handle installed
+by :func:`repro.obs.report.observe` (or the CLI's ``--flight`` flag).
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .trace import TraceBus, TraceEvent
+
+
+class FlightRecorder:
+    """Bounded per-layer ring buffer over trace events."""
+
+    def __init__(self, bus: Optional[TraceBus] = None, per_layer: int = 200):
+        if per_layer <= 0:
+            raise ValueError(f"per_layer must be positive, got {per_layer}")
+        self.per_layer = per_layer
+        self.events_seen = 0
+        self._layers: Dict[str, Deque[TraceEvent]] = {}
+        if bus is not None:
+            bus.subscribe(self)
+
+    def __call__(self, event: TraceEvent) -> None:
+        """Trace-bus subscriber entry point."""
+        layer = event.kind.partition(".")[0]
+        ring = self._layers.get(layer)
+        if ring is None:
+            ring = self._layers[layer] = deque(maxlen=self.per_layer)
+        ring.append(event)
+        self.events_seen += 1
+
+    # -- inspection ------------------------------------------------------
+
+    def layers(self) -> List[str]:
+        return sorted(self._layers)
+
+    def tail(self, layer: str) -> List[TraceEvent]:
+        """The retained events for one layer, oldest first."""
+        return list(self._layers.get(layer, ()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view: per-layer tails interleaved by global time."""
+        merged = sorted(
+            (event for ring in self._layers.values() for event in ring),
+            key=lambda event: (event.t, event.run),
+        )
+        return {
+            "per_layer": self.per_layer,
+            "events_seen": self.events_seen,
+            "events_retained": sum(len(ring) for ring in self._layers.values()),
+            "layers": {layer: len(ring) for layer, ring in sorted(self._layers.items())},
+            "tail": [event.to_dict() for event in merged],
+        }
+
+
+def dump_postmortem(
+    path: str,
+    error: BaseException,
+    recorder: Optional[FlightRecorder] = None,
+    profiler: Optional[Any] = None,
+    context: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write the crash artifact and return its path.
+
+    ``profiler`` is duck-typed (anything with ``open_stack()``) to keep
+    this module importable without :mod:`repro.obs.spans`.
+    """
+    payload: Dict[str, Any] = {
+        "kind": "postmortem",
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exception(type(error), error, error.__traceback__),
+        },
+        "context": dict(context) if context else {},
+        "open_spans": [],
+        "flight": None,
+    }
+    if profiler is not None:
+        # crash_stack() remembers spans the exception already unwound
+        # through; plain open_stack() is the fallback for duck-typed
+        # profilers (and for dumps taken while spans are still open).
+        stack = getattr(profiler, "crash_stack", profiler.open_stack)
+        payload["open_spans"] = [span.to_dict(with_children=False) for span in stack()]
+    if recorder is not None:
+        payload["flight"] = recorder.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+# -- ambient recorder --------------------------------------------------------
+
+_current: Optional[FlightRecorder] = None
+
+
+def install_recorder(recorder: Optional[FlightRecorder]) -> None:
+    """Install (or, with ``None``, clear) the ambient flight recorder."""
+    global _current
+    _current = recorder
+
+
+def current_recorder() -> Optional[FlightRecorder]:
+    """The ambient flight recorder, or ``None`` when disabled."""
+    return _current

@@ -1,0 +1,168 @@
+"""Perf trajectory: trend/regression report over benchmark artifacts.
+
+``benchmarks/conftest.py`` writes one ``BENCH_<timestamp>.json`` per
+benchmark session and CI archives them; ``benchmarks/baseline.json``
+is the committed reference point. This module turns any collection of
+those files into a per-bench report: wall time against the baseline,
+the trend across the ingested sessions, and a regression verdict using
+the same fractional threshold as the CI gate
+(``benchmarks/compare.py``).
+
+The report is a plain dict (JSON output for dashboards) plus a text
+renderer (local runs, CI logs). Policy stays with the caller: the
+``spider-repro perf`` CLI is warn-only unless ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: Same default as benchmarks/compare.py — loose on purpose: the gate
+#: catches multiples (an O(#radios) scan reintroduced), not percents.
+DEFAULT_THRESHOLD = 0.30
+
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+STATUS_NEW = "new"
+STATUS_MISSING = "missing"
+
+
+def load_summary(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load one BENCH/baseline summary file into a normalized record.
+
+    Malformed benchmark entries (missing ``test``, non-numeric
+    ``wall_seconds``) are skipped and counted, never fatal — a perf
+    report must survive a truncated artifact from a crashed CI run.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    records: Dict[str, float] = {}
+    skipped = 0
+    entries = payload.get("benchmarks", [])
+    if not isinstance(entries, list):
+        entries = []
+        skipped += 1
+    for entry in entries:
+        try:
+            test = entry["test"]
+            wall = float(entry["wall_seconds"])
+        except (TypeError, KeyError, ValueError):
+            skipped += 1
+            continue
+        if not isinstance(test, str) or not test:
+            skipped += 1
+            continue
+        records[test] = wall
+    return {
+        "label": path.name,
+        "created": str(payload.get("created_utc", "")) if isinstance(payload, dict) else "",
+        "records": records,
+        "skipped": skipped,
+    }
+
+
+def perf_report(
+    baseline: Optional[Dict[str, Any]],
+    summaries: Sequence[Dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Build the report dict from loaded summaries (oldest → newest).
+
+    ``baseline`` and each summary are :func:`load_summary` results.
+    The regression verdict compares the **newest** summary against the
+    baseline; the trend spans the ingested summaries themselves.
+    """
+    summaries = sorted(summaries, key=lambda s: (s["created"], s["label"]))
+    base_records: Dict[str, float] = dict(baseline["records"]) if baseline else {}
+    latest = summaries[-1] if summaries else None
+    tests = sorted(
+        set(base_records) | {test for summary in summaries for test in summary["records"]}
+    )
+
+    benches: List[Dict[str, Any]] = []
+    regressions = 0
+    for test in tests:
+        series = [
+            summary["records"][test] for summary in summaries if test in summary["records"]
+        ]
+        base = base_records.get(test)
+        now = latest["records"].get(test) if latest else None
+        delta: Optional[float] = None
+        trend: Optional[float] = None
+        if len(series) >= 2 and series[0] > 0:
+            trend = (series[-1] - series[0]) / series[0]
+        if now is None:
+            status = STATUS_MISSING
+        elif base is None:
+            status = STATUS_NEW
+        else:
+            delta = (now - base) / base if base > 0 else 0.0
+            if delta > threshold:
+                status = STATUS_REGRESSED
+                regressions += 1
+            elif delta < -threshold:
+                status = STATUS_IMPROVED
+            else:
+                status = STATUS_OK
+        benches.append(
+            {
+                "test": test,
+                "baseline_seconds": base,
+                "latest_seconds": now,
+                "series": [round(value, 6) for value in series],
+                "delta": None if delta is None else round(delta, 4),
+                "trend": None if trend is None else round(trend, 4),
+                "status": status,
+            }
+        )
+
+    return {
+        "kind": "perf",
+        "threshold": threshold,
+        "baseline": baseline["label"] if baseline else None,
+        "summaries": [summary["label"] for summary in summaries],
+        "entries_skipped": (baseline["skipped"] if baseline else 0)
+        + sum(summary["skipped"] for summary in summaries),
+        "regressions": regressions,
+        "benches": benches,
+    }
+
+
+def _short(test: str) -> str:
+    """``benchmarks/test_bench_fig2.py::test_bench_fig2`` → ``fig2``-ish."""
+    return test.rsplit("::", 1)[-1].removeprefix("test_bench_")
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`perf_report` dict."""
+    lines: List[str] = []
+    baseline = report["baseline"] or "(none)"
+    lines.append(
+        f"perf: {len(report['summaries'])} summary file(s) vs baseline {baseline}"
+        f" (threshold +{report['threshold']:.0%})"
+    )
+    if report["entries_skipped"]:
+        lines.append(f"perf: skipped {report['entries_skipped']} malformed entr(y/ies)")
+    for bench in report["benches"]:
+        status = bench["status"].upper() if bench["status"] == STATUS_REGRESSED else bench["status"]
+        now = bench["latest_seconds"]
+        base = bench["baseline_seconds"]
+        now_text = "-" if now is None else f"{now * 1000:.1f}ms"
+        base_text = "-" if base is None else f"{base * 1000:.1f}ms"
+        delta_text = "" if bench["delta"] is None else f" ({bench['delta']:+.0%})"
+        trend_text = "" if bench["trend"] is None else f" trend {bench['trend']:+.0%}"
+        lines.append(
+            f"  {status:9s} {_short(bench['test']):42s}"
+            f" {base_text:>10s} -> {now_text:>10s}{delta_text}{trend_text}"
+        )
+    if report["regressions"]:
+        lines.append(
+            f"perf: {report['regressions']} benchmark(s) regressed more than"
+            f" {report['threshold']:.0%}"
+        )
+    else:
+        lines.append("perf: no wall-time regressions beyond threshold")
+    return "\n".join(lines)

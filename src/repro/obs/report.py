@@ -17,6 +17,7 @@ apart six months later and to compare perf PRs honestly.
 from __future__ import annotations
 
 import cProfile
+import functools
 import io
 import json
 import platform
@@ -28,23 +29,50 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
+from repro.obs import flight as flight_mod
+from repro.obs import spans as spans_mod
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanProfiler
 from repro.obs.trace import TraceBus
 from repro.sim import engine
 
 
 @contextmanager
-def observe(trace: Optional[TraceBus] = None, metrics: Optional[MetricsRegistry] = None):
-    """Install default observability for simulators built in the block."""
-    engine.set_default_observability(trace=trace, metrics=metrics)
+def observe(
+    trace: Optional[TraceBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanProfiler] = None,
+    flight: Optional[FlightRecorder] = None,
+):
+    """Install default observability for simulators built in the block.
+
+    ``spans`` additionally becomes the ambient
+    :func:`~repro.obs.spans.current_profiler` so harness layers (exec
+    workers, the campaign loop, scenario build) pick it up; ``flight``
+    becomes the ambient :func:`~repro.obs.flight.current_recorder` that
+    crash paths consult when dumping a post-mortem. Subscribing the
+    recorder to a bus stays the caller's job (``FlightRecorder(bus)``).
+    """
+    engine.set_default_observability(trace=trace, metrics=metrics, spans=spans)
+    spans_mod.install_profiler(spans)
+    flight_mod.install_recorder(flight)
     try:
         yield
     finally:
         engine.set_default_observability()
+        spans_mod.install_profiler(None)
+        flight_mod.install_recorder(None)
 
 
+@functools.lru_cache(maxsize=None)
 def git_sha(short: bool = True) -> Optional[str]:
-    """The repo's current commit, or None outside a git checkout."""
+    """The repo's current commit, or None outside a git checkout.
+
+    Cached per process: manifests, cache keys, and per-shard telemetry
+    all ask for the SHA, and it cannot change mid-run — one subprocess
+    is enough.
+    """
     root = Path(__file__).resolve().parents[3]
     args = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
     try:
@@ -78,6 +106,9 @@ class RunManifest:
     jobs: int = 1
     shards_total: int = 0
     shards_cached: int = 0
+    #: Optional execution telemetry (per-shard sources, retries, worker
+    #: vs. queue seconds) aggregated by ``repro.exec.campaign``.
+    telemetry: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -111,6 +142,7 @@ def build_manifest(
     jobs: int = 1,
     shards_total: int = 0,
     shards_cached: int = 0,
+    telemetry: Optional[Dict] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a completed run."""
     return RunManifest(
@@ -128,6 +160,7 @@ def build_manifest(
         jobs=jobs,
         shards_total=shards_total,
         shards_cached=shards_cached,
+        telemetry=dict(telemetry) if telemetry else None,
     )
 
 
@@ -139,12 +172,15 @@ def build_campaign_manifest(
     shards_total: int = 0,
     shards_cached: int = 0,
     cache_stats: Optional[Dict] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """Aggregate per-experiment manifests into one campaign manifest.
 
     The campaign manifest is the provenance record of a whole-evaluation
     regeneration: environment once, totals once, and the individual run
-    manifests nested under ``experiments``.
+    manifests nested under ``experiments``. ``telemetry`` carries the
+    campaign-level execution counters (pool/inline/cached shards,
+    retries, worker vs. queue seconds) when the exec engine ran.
     """
     return {
         "kind": "campaign",
@@ -157,6 +193,7 @@ def build_campaign_manifest(
         "shards_total": shards_total,
         "shards_cached": shards_cached,
         "cache_stats": dict(cache_stats) if cache_stats else None,
+        "telemetry": dict(telemetry) if telemetry else None,
         "experiments": [run.to_dict() for run in runs],
     }
 

@@ -84,6 +84,9 @@ TCP_CWND = "tcp.cwnd"  # flow, cwnd (emitted on >= 1-segment moves)
 SCENARIO_BUILD = "scenario.build"  # scenario, seed, aps, spec_digest
 SCENARIO_RUN = "scenario.run"  # scenario, driver, duration
 
+# run: bus-level bookkeeping (emitted by the bus itself, not a layer)
+RUN_SEGMENT = "run.segment"  # segment, offset — a new simulator adopted the bus
+
 # driver: join lifecycle and AP selection policy
 DRIVER_JOIN = "driver.join"  # client, ap, channel
 DRIVER_SELECT = "driver.select"  # client, ap, policy, candidates
@@ -153,11 +156,15 @@ class TraceBus:
 
         Starts a new run segment: the new simulator's clock restarts at
         zero, so the bus offsets its timestamps to keep the global
-        ``t`` axis non-decreasing across segments.
+        ``t`` axis non-decreasing across segments. The boundary is
+        announced with an explicit :data:`RUN_SEGMENT` event so
+        exporters never have to infer segment starts from timestamp
+        offsets.
         """
         self._run += 1
         self._offset = self._last_t
         sim.trace = self
+        self.emit(RUN_SEGMENT, 0.0, segment=self._run, offset=self._offset)
         return self
 
     def subscribe(self, subscriber: Callable[[TraceEvent], None]) -> Callable[[TraceEvent], None]:

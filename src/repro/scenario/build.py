@@ -32,6 +32,7 @@ from repro.net.backhaul import ApRouter, WiredBackhaul
 from repro.net.dhcp import DhcpServer, DhcpServerConfig
 from repro.net.tcp import TcpConfig
 from repro.obs import trace as tr
+from repro.obs.spans import SPAN_SCENARIO_BUILD, current_profiler
 from repro.phy.propagation import PropagationModel
 from repro.phy.radio import Medium
 from repro.scenario.results import RunResult, result_from_driver
@@ -280,7 +281,21 @@ class World:
 
 
 def build(spec: ScenarioSpec) -> World:
-    """Assemble the world a spec describes. Pure function of the spec."""
+    """Assemble the world a spec describes. Pure function of the spec.
+
+    With an ambient span profiler installed, construction is recorded
+    as one ``scenario.build`` span (scenario, seed, AP count).
+    """
+    spans = current_profiler()
+    if spans is not None:
+        with spans.span(SPAN_SCENARIO_BUILD, scenario=spec.name, seed=spec.seed) as span:
+            world = _build(spec)
+            span.add(aps=len(world.aps))
+        return world
+    return _build(spec)
+
+
+def _build(spec: ScenarioSpec) -> World:
     spec = spec.validated()
     propagation = PropagationModel(
         range_m=spec.propagation.range_m,

@@ -20,18 +20,25 @@ class SimulationError(Exception):
 
 
 #: Ambient observability defaults: newly constructed simulators adopt
-#: these as their ``trace`` / ``metrics`` handles. Installed by
-#: :func:`repro.obs.report.observe` around experiment runs so the
-#: CLI can observe simulators that experiments construct internally.
+#: these as their ``trace`` / ``metrics`` / ``spans`` handles.
+#: Installed by :func:`repro.obs.report.observe` around experiment runs
+#: so the CLI can observe simulators that experiments construct
+#: internally.
 _default_trace: Optional[Any] = None
 _default_metrics: Optional[Any] = None
+_default_spans: Optional[Any] = None
 
 
-def set_default_observability(trace: Optional[Any] = None, metrics: Optional[Any] = None) -> None:
-    """Set (or, with no arguments, clear) the ambient trace/metrics."""
-    global _default_trace, _default_metrics
+def set_default_observability(
+    trace: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+    spans: Optional[Any] = None,
+) -> None:
+    """Set (or, with no arguments, clear) the ambient trace/metrics/spans."""
+    global _default_trace, _default_metrics, _default_spans
     _default_trace = trace
     _default_metrics = metrics
+    _default_spans = spans
 
 
 class EventHandle:
@@ -259,10 +266,12 @@ class Simulator:
         #: events-executed / events-per-second accounting.
         self.events_executed = 0
         #: Optional observability handles (see ``repro.obs``). ``None``
-        #: unless a bus/registry is attached explicitly or ambiently;
-        #: instrumentation points throughout the stack guard on that.
+        #: unless a bus/registry/profiler is attached explicitly or
+        #: ambiently; instrumentation points throughout the stack guard
+        #: on that.
         self.trace: Optional[Any] = _default_trace
         self.metrics: Optional[Any] = _default_metrics
+        self.spans: Optional[Any] = _default_spans
         if self.trace is not None:
             self.trace.attach(self)
         if self.metrics is not None:
@@ -338,7 +347,21 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the last event fires earlier. The unbounded
         loop skips the per-event deadline peek entirely.
+
+        With a span profiler installed, the whole run is wrapped in one
+        ``sim.run`` span carrying the events executed and the final
+        simulated clock; the guard keeps the disabled path span-free.
         """
+        spans = self.spans
+        if spans is not None:
+            before = self.events_executed
+            with spans.span("sim.run") as span:
+                self._run_loop(until)
+                span.add(events=self.events_executed - before, sim_t=self.now)
+            return
+        self._run_loop(until)
+
+    def _run_loop(self, until: Optional[float]) -> None:
         self._stopped = False
         step = self.step
         if until is None:

@@ -1,0 +1,112 @@
+"""benchmarks/compare.py: the CI wall-time gate's threshold math,
+warn-only degradations, and malformed-artifact tolerance.
+
+compare.py is a standalone script (not part of the ``repro`` package),
+so it is loaded here by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COMPARE = Path(__file__).parent.parent / "benchmarks" / "compare.py"
+
+
+@pytest.fixture(scope="module")
+def compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _summary(path, benches):
+    path.write_text(json.dumps({"benchmarks": benches, "created_utc": "20260808T000000Z"}))
+    return path
+
+
+def _bench(test, wall):
+    return {"test": test, "wall_seconds": wall}
+
+
+class TestLoadRecords:
+    def test_well_formed(self, compare, tmp_path):
+        path = _summary(tmp_path / "BENCH_ok.json", [_bench("t::a", 1.5), _bench("t::b", 0.25)])
+        assert compare._load_records(path) == {"t::a": 1.5, "t::b": 0.25}
+
+    def test_malformed_entries_skipped_with_warning(self, compare, tmp_path, capsys):
+        path = _summary(
+            tmp_path / "BENCH_bad.json",
+            [
+                _bench("t::good", 1.0),
+                {"test": "t::no_wall"},
+                {"wall_seconds": 2.0},
+                {"test": "t::bad_wall", "wall_seconds": "NaNope"},
+                {"test": "", "wall_seconds": 1.0},
+                {"test": 42, "wall_seconds": 1.0},
+                None,
+            ],
+        )
+        records = compare._load_records(path)
+        assert records == {"t::good": 1.0}
+        assert "skipped 6 malformed" in capsys.readouterr().out
+
+    def test_benchmarks_key_not_a_list(self, compare, tmp_path):
+        path = tmp_path / "BENCH_weird.json"
+        path.write_text(json.dumps({"benchmarks": {"t": 1.0}}))
+        assert compare._load_records(path) == {}
+
+
+class TestThresholdGate:
+    def test_within_threshold_passes(self, compare, tmp_path, capsys):
+        baseline = _summary(tmp_path / "baseline.json", [_bench("t::x", 1.0)])
+        fresh = _summary(tmp_path / "BENCH_f.json", [_bench("t::x", 1.25)])
+        code = compare.main([str(fresh), "--baseline", str(baseline), "--threshold", "0.30"])
+        assert code == 0
+        assert "no wall-time regressions" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, compare, tmp_path, capsys):
+        baseline = _summary(tmp_path / "baseline.json", [_bench("t::x", 1.0)])
+        fresh = _summary(tmp_path / "BENCH_f.json", [_bench("t::x", 1.31)])
+        code = compare.main([str(fresh), "--baseline", str(baseline), "--threshold", "0.30"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "+31%" in out
+
+    def test_one_sided_tests_reported_not_failed(self, compare, tmp_path, capsys):
+        baseline = _summary(tmp_path / "baseline.json", [_bench("t::old", 1.0)])
+        fresh = _summary(tmp_path / "BENCH_f.json", [_bench("t::new", 1.0)])
+        code = compare.main([str(fresh), "--baseline", str(baseline)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        assert "NEW" in out
+
+    def test_zero_baseline_wall_never_divides(self, compare, tmp_path):
+        baseline = _summary(tmp_path / "baseline.json", [_bench("t::z", 0.0)])
+        fresh = _summary(tmp_path / "BENCH_f.json", [_bench("t::z", 9.0)])
+        assert compare.main([str(fresh), "--baseline", str(baseline)]) == 0
+
+
+class TestDegradedInputs:
+    def test_missing_baseline_warns_and_passes(self, compare, tmp_path, capsys):
+        fresh = _summary(tmp_path / "BENCH_f.json", [_bench("t::x", 1.0)])
+        code = compare.main([str(fresh), "--baseline", str(tmp_path / "absent.json")])
+        assert code == 0
+        assert "warn only" in capsys.readouterr().out
+
+    def test_missing_fresh_summary_fails(self, compare, tmp_path, capsys):
+        code = compare.main([str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "no fresh BENCH_*.json" in capsys.readouterr().out
+
+    def test_malformed_fresh_still_gates_remaining_benches(self, compare, tmp_path):
+        baseline = _summary(tmp_path / "baseline.json", [_bench("t::x", 1.0)])
+        fresh = _summary(
+            tmp_path / "BENCH_f.json",
+            [_bench("t::x", 2.0), {"test": "t::broken"}],
+        )
+        assert compare.main([str(fresh), "--baseline", str(baseline)]) == 1

@@ -113,10 +113,14 @@ class TestTraceBus:
         bus.emit(tr.SCHED_SLOT, 2.0, channel=6)
         ts = [event.t for event in recorder.events]
         assert ts == sorted(ts)
-        assert recorder.events[1].t >= 5.0
-        assert recorder.events[1].sim_t == 1.0
-        assert recorder.events[0].run == 0
-        assert recorder.events[1].run == 1
+        # attach() marks each segment boundary explicitly.
+        segments = [event for event in recorder.events if event.kind == tr.RUN_SEGMENT]
+        assert [event.fields["segment"] for event in segments] == [0, 1]
+        slots = [event for event in recorder.events if event.kind == tr.SCHED_SLOT]
+        assert slots[1].t >= 5.0
+        assert slots[1].sim_t == 1.0
+        assert slots[0].run == 0
+        assert slots[1].run == 1
 
     def test_recorder_kind_filters(self):
         bus = TraceBus()

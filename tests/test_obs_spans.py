@@ -1,0 +1,461 @@
+"""Second observability layer: span profiler, flight recorder,
+Chrome/Perfetto export, and the perf trajectory report."""
+
+import json
+
+import pytest
+
+from repro.obs import trace as tr
+from repro.obs.cli import perf_main, trace_main
+from repro.obs.export import (
+    PID_HARNESS,
+    PID_SIM,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.flight import FlightRecorder, dump_postmortem
+from repro.obs.perf import (
+    STATUS_IMPROVED,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    load_summary,
+    perf_report,
+    render_text,
+)
+from repro.obs.report import observe
+from repro.obs.spans import SpanProfiler, current_profiler, install_profiler
+from repro.obs.trace import TraceBus, TraceEvent, TraceRecorder, write_jsonl
+from repro.scenario.build import run_spec
+from repro.scenario.registry import scenario
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+
+
+class TestSpanProfiler:
+    def test_nesting_builds_a_tree_with_wall_times(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with profiler.span("scenario.run", scenario="dense-downtown"):
+            clock.tick(0.5)
+            with profiler.span("scenario.build") as build:
+                clock.tick(1.0)
+                build.add(aps=40)
+            with profiler.span("sim.run"):
+                clock.tick(2.0)
+        assert profiler.spans_recorded == 3
+        (root,) = profiler.roots
+        assert root.name == "scenario.run"
+        assert root.wall == pytest.approx(3.5)
+        assert [child.name for child in root.children] == ["scenario.build", "sim.run"]
+        assert root.children[0].wall == pytest.approx(1.0)
+        assert root.children[0].fields == {"aps": 40}
+        assert root.fields == {"scenario": "dense-downtown"}
+        assert root.children[1].wall == pytest.approx(2.0)
+
+    def test_record_appends_retroactive_span(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        clock.tick(5.0)
+        span = profiler.record("exec.shard", 1.0, 4.0, key="s0", lane="shard:s0")
+        assert span.wall == pytest.approx(3.0)
+        assert profiler.roots == [span]
+        # t1 defaults to "now" when omitted.
+        open_ended = profiler.record("exec.shard", 2.0, key="s1")
+        assert open_ended.t1 == pytest.approx(5.0)
+
+    def test_open_stack_lists_innermost_last(self):
+        profiler = SpanProfiler(clock=FakeClock())
+        with profiler.span("a"):
+            with profiler.span("b"):
+                names = [span.name for span in profiler.open_stack()]
+                assert names == ["a", "b"]
+                assert all(span.open for span in profiler.open_stack())
+        assert profiler.open_stack() == []
+
+    def test_to_dict_round_trips_through_json(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with profiler.span("a", x=1):
+            clock.tick(0.25)
+            with profiler.span("b"):
+                clock.tick(0.25)
+        payload = json.loads(json.dumps(profiler.to_dict()))
+        assert payload["kind"] == "spans"
+        assert payload["spans_recorded"] == 2
+        assert payload["spans"][0]["name"] == "a"
+        assert payload["spans"][0]["children"][0]["name"] == "b"
+        assert payload["spans"][0]["wall"] == pytest.approx(0.5)
+
+    def test_format_tree_prunes_below_min_wall(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with profiler.span("slow"):
+            clock.tick(1.0)
+            with profiler.span("fast"):
+                clock.tick(0.001)
+        text = profiler.format_tree(min_wall=0.1)
+        assert "slow" in text
+        assert "fast" not in text
+
+    def test_crash_stack_survives_the_unwind(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with pytest.raises(ValueError):
+            with profiler.span("exec.experiment"):
+                with profiler.span("sim.run"):
+                    clock.tick(1.0)
+                    raise ValueError("boom")
+        assert profiler.open_stack() == []
+        names = [span.name for span in profiler.crash_stack()]
+        assert names == ["exec.experiment", "sim.run"]
+        assert all(span.fields["error"] == "ValueError" for span in profiler.crash_stack())
+
+    def test_ambient_install_and_clear(self):
+        profiler = SpanProfiler(clock=FakeClock())
+        assert current_profiler() is None
+        install_profiler(profiler)
+        try:
+            assert current_profiler() is profiler
+        finally:
+            install_profiler(None)
+        assert current_profiler() is None
+
+
+class TestFlightRecorder:
+    def test_chatty_layer_cannot_evict_sparse_layer(self):
+        recorder = FlightRecorder(per_layer=5)
+        recorder(TraceEvent(0.0, tr.DHCP_SEND, 0, 0.0, {}))
+        for step in range(100):
+            recorder(TraceEvent(0.1 + step * 0.01, tr.SCHED_SLOT, 0, 0.0, {}))
+        assert recorder.events_seen == 101
+        assert recorder.layers() == ["dhcp", "sched"]
+        assert len(recorder.tail("sched")) == 5
+        assert [event.kind for event in recorder.tail("dhcp")] == [tr.DHCP_SEND]
+
+    def test_snapshot_merges_tails_by_global_time(self):
+        bus = TraceBus()
+        recorder = FlightRecorder(bus, per_layer=10)
+        bus.emit(tr.SCHED_SLOT, 0.1)
+        bus.emit(tr.DHCP_SEND, 0.2)
+        bus.emit(tr.SCHED_SLOT, 0.3)
+        snap = recorder.snapshot()
+        assert snap["events_seen"] == 3
+        assert snap["events_retained"] == 3
+        assert snap["layers"] == {"dhcp": 1, "sched": 2}
+        assert [entry["kind"] for entry in snap["tail"]] == [
+            tr.SCHED_SLOT, tr.DHCP_SEND, tr.SCHED_SLOT,
+        ]
+
+    def test_per_layer_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(per_layer=0)
+
+    def test_postmortem_artifact(self, tmp_path):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        recorder = FlightRecorder(per_layer=3)
+        recorder(TraceEvent(1.0, tr.DHCP_SEND, 0, 1.0, {"client": "c0"}))
+        path = tmp_path / "crash.json"
+        with profiler.span("exec.experiment", experiment="fig2"):
+            clock.tick(2.0)
+            try:
+                raise RuntimeError("shard s3 exploded")
+            except RuntimeError as exc:
+                dump_postmortem(
+                    str(path), exc, recorder=recorder, profiler=profiler,
+                    context={"experiment": "fig2"},
+                )
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "postmortem"
+        assert payload["error"]["type"] == "RuntimeError"
+        assert payload["error"]["message"] == "shard s3 exploded"
+        assert "RuntimeError" in "".join(payload["error"]["traceback"])
+        assert payload["context"] == {"experiment": "fig2"}
+        assert [span["name"] for span in payload["open_spans"]] == ["exec.experiment"]
+        assert payload["open_spans"][0]["t1"] is None
+        assert payload["flight"]["tail"][0]["kind"] == tr.DHCP_SEND
+
+
+class TestChromeExport:
+    def test_sim_events_land_on_one_lane_per_layer(self):
+        events = [
+            TraceEvent(0.0, tr.SCHED_SLOT, 0, 0.0, {"channel": 1}),
+            TraceEvent(0.5, tr.DHCP_SEND, 0, 0.5, {"client": "c"}),
+            TraceEvent(1.0, tr.SCHED_SWITCH, 0, 1.0, {}),
+        ]
+        payload = chrome_trace(events)
+        assert validate_chrome_trace(payload) == []
+        instants = [event for event in payload["traceEvents"] if event["ph"] == "i"]
+        assert all(event["pid"] == PID_SIM for event in instants)
+        by_layer = {event["name"].partition(".")[0]: event["tid"] for event in instants}
+        assert by_layer["sched"] != by_layer["dhcp"]
+        sched = [event for event in instants if event["name"] == tr.SCHED_SLOT]
+        assert sched[0]["ts"] == 0.0
+        assert sched[0]["args"]["channel"] == 1
+
+    def test_spans_become_complete_events_with_shard_lanes(self):
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with profiler.span("exec.shards", shards=2):
+            clock.tick(0.5)
+            profiler.record("exec.shard", 0.1, 0.4, key="s0", lane="shard:s0")
+            profiler.record("exec.shard", 0.1, 0.5, key="s1", lane="shard:s1")
+        payload = chrome_trace([], profiler.to_dict())
+        assert validate_chrome_trace(payload) == []
+        completes = [event for event in payload["traceEvents"] if event["ph"] == "X"]
+        assert all(event["pid"] == PID_HARNESS for event in completes)
+        lanes = {event["tid"] for event in completes}
+        assert len(lanes) == 3  # main + one per shard
+        shard = next(event for event in completes if event["args"].get("key") == "s0")
+        assert shard["dur"] == pytest.approx(0.3e6)
+        assert "lane" not in shard["args"]
+        thread_names = {
+            event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert {"main", "shard:s0", "shard:s1"} <= thread_names
+
+    def test_validator_rejects_malformed_payloads(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+        bad_phase = {"traceEvents": [{"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("phase" in error for error in validate_chrome_trace(bad_phase))
+        negative = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1.0, "dur": 1.0}
+            ]
+        }
+        assert any("ts" in error for error in validate_chrome_trace(negative))
+
+    def test_dense_downtown_run_exports_valid_chrome_trace(self, tmp_path):
+        """Acceptance: a real scenario run -> valid Perfetto JSON with
+        both clock domains populated."""
+        bus = TraceBus()
+        recorder = TraceRecorder(bus)
+        profiler = SpanProfiler()
+        with observe(trace=bus, spans=profiler):
+            results = run_spec(scenario("dense-downtown", duration=2.0, seed=3))
+        assert results
+        assert recorder.events
+        assert profiler.spans_recorded > 0
+        out = tmp_path / "dense-downtown-perfetto.json"
+        count = write_chrome_trace(str(out), recorder.events, profiler.to_dict())
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert count == len(payload["traceEvents"]) > 0
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        assert pids == {PID_SIM, PID_HARNESS}
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "scenario.build" in names
+        assert "sim.run" in names
+
+
+class TestRunnerObservability:
+    def test_run_spans_flag_writes_tree(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.chdir(tmp_path)
+        assert runner.main(["run", "fig3", "--fast", "--spans"]) == 0
+        assert "spans:" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "fig3-spans.json").read_text())
+        assert payload["kind"] == "spans"
+        assert payload["spans"][0]["name"] == "exec.experiment"
+
+    def test_flight_flag_dumps_postmortem_on_crash(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.chdir(tmp_path)
+
+        def boom(name, fast=False, **overrides):
+            raise RuntimeError("mid-run explosion")
+
+        monkeypatch.setattr(runner, "run_experiment", boom)
+        with pytest.raises(RuntimeError):
+            runner.main(["run", "fig3", "--fast", "--flight", "--spans"])
+        payload = json.loads((tmp_path / "fig3-crash.json").read_text())
+        assert payload["error"]["type"] == "RuntimeError"
+        assert payload["error"]["message"] == "mid-run explosion"
+        assert payload["context"]["experiment"] == "fig3"
+        # The span stack at the point of failure survives the unwind.
+        assert [span["name"] for span in payload["open_spans"]] == ["exec.experiment"]
+        assert payload["open_spans"][0]["fields"]["error"] == "RuntimeError"
+
+    def test_campaign_progress_eta_and_manifest_telemetry(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.chdir(tmp_path)
+        code = runner.main(
+            ["campaign", "fig3", "model-gap", "--fast", "--jobs", "1",
+             "--manifest", "m.json", "--spans"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[1/2] fig3" in out
+        assert "left in campaign" in out
+        assert "eta=" in out
+        manifest = json.loads((tmp_path / "m.json").read_text())
+        assert manifest["telemetry"]["shards"] == manifest["shards_total"]
+        assert manifest["telemetry"]["cached"] == 0
+        per_experiment = manifest["experiments"][0]["telemetry"]
+        assert set(per_experiment) >= {"shards", "cached", "retries", "shard_detail"}
+        assert len(per_experiment["shard_detail"]) == per_experiment["shards"]
+        assert manifest["spans"]["spans_recorded"] > 0
+        names = {span["name"] for span in manifest["spans"]["spans"]}
+        assert "exec.experiment" in names
+        assert (tmp_path / "campaign-spans.json").exists()
+
+
+def _bench(test, wall):
+    return {"test": f"benchmarks/test_bench_x.py::{test}", "wall_seconds": wall}
+
+
+def _write_summary(path, benches, created="20260808T000000Z"):
+    path.write_text(json.dumps({"benchmarks": benches, "created_utc": created}))
+    return path
+
+
+class TestPerfReport:
+    def test_load_summary_skips_malformed_entries(self, tmp_path):
+        path = _write_summary(
+            tmp_path / "BENCH_1.json",
+            [
+                _bench("test_bench_ok", 1.0),
+                {"test": "no-wall"},
+                {"wall_seconds": 2.0},
+                {"test": "bad-wall", "wall_seconds": "fast"},
+                "not even a dict",
+                {"test": 7, "wall_seconds": 1.0},
+            ],
+        )
+        summary = load_summary(path)
+        assert summary["records"] == {"benchmarks/test_bench_x.py::test_bench_ok": 1.0}
+        assert summary["skipped"] == 5
+        assert summary["label"] == "BENCH_1.json"
+
+    def test_threshold_math_and_statuses(self, tmp_path):
+        baseline = load_summary(
+            _write_summary(
+                tmp_path / "baseline.json",
+                [
+                    _bench("test_bench_slow", 1.0),
+                    _bench("test_bench_fast", 1.0),
+                    _bench("test_bench_same", 1.0),
+                    _bench("test_bench_gone", 1.0),
+                ],
+            )
+        )
+        latest = load_summary(
+            _write_summary(
+                tmp_path / "BENCH_2.json",
+                [
+                    _bench("test_bench_slow", 1.5),
+                    _bench("test_bench_fast", 0.5),
+                    _bench("test_bench_same", 1.1),
+                    _bench("test_bench_added", 2.0),
+                ],
+            )
+        )
+        report = perf_report(baseline, [latest], threshold=0.30)
+        status = {bench["test"].rsplit("::")[-1]: bench["status"] for bench in report["benches"]}
+        assert status["test_bench_slow"] == STATUS_REGRESSED
+        assert status["test_bench_fast"] == STATUS_IMPROVED
+        assert status["test_bench_same"] == STATUS_OK
+        assert status["test_bench_added"] == STATUS_NEW
+        assert status["test_bench_gone"] == STATUS_MISSING
+        assert report["regressions"] == 1
+        slow = next(b for b in report["benches"] if b["test"].endswith("slow"))
+        assert slow["delta"] == pytest.approx(0.5)
+
+    def test_trend_spans_oldest_to_newest(self, tmp_path):
+        old = load_summary(
+            _write_summary(
+                tmp_path / "BENCH_a.json", [_bench("test_bench_t", 1.0)], "20260101T000000Z"
+            )
+        )
+        new = load_summary(
+            _write_summary(
+                tmp_path / "BENCH_b.json", [_bench("test_bench_t", 1.2)], "20260201T000000Z"
+            )
+        )
+        # Pass newest first: perf_report must sort by created stamp.
+        report = perf_report(None, [new, old])
+        (bench,) = report["benches"]
+        assert bench["trend"] == pytest.approx(0.2)
+        assert bench["status"] == STATUS_NEW  # no baseline
+        assert report["baseline"] is None
+
+    def test_render_text_flags_regressions(self, tmp_path):
+        baseline = load_summary(
+            _write_summary(tmp_path / "baseline.json", [_bench("test_bench_r", 1.0)])
+        )
+        latest = load_summary(
+            _write_summary(tmp_path / "BENCH_3.json", [_bench("test_bench_r", 2.0)])
+        )
+        text = render_text(perf_report(baseline, [latest]))
+        assert "REGRESSED" in text
+        assert "1 benchmark(s) regressed" in text
+
+
+class TestObsCli:
+    def test_trace_export_chrome(self, tmp_path, capsys):
+        trace_path = tmp_path / "run-trace.jsonl"
+        write_jsonl(
+            [TraceEvent(0.0, tr.SCHED_SLOT, 0, 0.0, {"channel": 1})], str(trace_path)
+        )
+        clock = FakeClock()
+        profiler = SpanProfiler(clock=clock)
+        with profiler.span("sim.run"):
+            clock.tick(1.0)
+        spans_path = tmp_path / "run-spans.json"
+        profiler.write(str(spans_path))
+
+        code = trace_main([
+            "export", str(trace_path), "--chrome", "--spans", str(spans_path),
+        ])
+        assert code == 0
+        out = tmp_path / "run-trace-perfetto.json"
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_trace_export_requires_chrome_flag(self, tmp_path):
+        with pytest.raises(SystemExit):
+            trace_main(["export", str(tmp_path / "t.jsonl")])
+
+    def test_perf_cli_strict_gates_on_regression(self, tmp_path, capsys):
+        baseline = _write_summary(
+            tmp_path / "baseline.json", [_bench("test_bench_cli", 1.0)]
+        )
+        summary = _write_summary(
+            tmp_path / "BENCH_cli.json", [_bench("test_bench_cli", 5.0)]
+        )
+        argv = [str(summary), "--baseline", str(baseline), "--json", "-"]
+        assert perf_main(argv) == 0  # warn-only by default
+        assert perf_main(argv + ["--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert '"kind": "perf"' in out
+
+    def test_perf_cli_missing_baseline_warn_only(self, tmp_path, capsys):
+        summary = _write_summary(
+            tmp_path / "BENCH_nb.json", [_bench("test_bench_nb", 1.0)]
+        )
+        code = perf_main(
+            [str(summary), "--baseline", str(tmp_path / "absent.json"), "--strict"]
+        )
+        assert code == 0
+        assert "no baseline" in capsys.readouterr().out

@@ -513,6 +513,96 @@ class TestPhyHotPathScan:
         assert run.findings == []
 
 
+class TestSpanGuard:
+    def test_unguarded_emit_flagged(self):
+        run = lint(unit("""
+            class AP:
+                def on_frame(self, frame):
+                    self.sim.trace.emit("mac.rx", self.sim.now, src=frame.src)
+        """, module="repro.mac.ap2"), select=["SL009"])
+        assert len(run.findings) == 1
+        assert "is not None" in run.findings[0].message
+
+    def test_guarded_emit_ok(self):
+        run = lint(unit("""
+            class AP:
+                def on_frame(self, frame):
+                    trace = self.sim.trace
+                    if trace is not None:
+                        trace.emit("mac.rx", self.sim.now, src=frame.src)
+        """, module="repro.mac.ap2"), select=["SL009"])
+        assert run.findings == []
+
+    def test_conjoined_guard_ok(self):
+        run = lint(unit("""
+            class Radio:
+                def set_channel(self, channel):
+                    trace = self.sim.trace
+                    if trace is not None and channel != self.channel:
+                        trace.emit("phy.channel_set", self.sim.now, channel=channel)
+        """, module="repro.phy.radio2"), select=["SL009"])
+        assert run.findings == []
+
+    def test_early_return_guard_ok(self):
+        run = lint(unit("""
+            class Engine:
+                def _note(self):
+                    spans = self.spans
+                    if spans is None:
+                        return
+                    with spans.span("sim.run"):
+                        pass
+        """, module="repro.sim.engine2"), select=["SL009"])
+        assert run.findings == []
+
+    def test_unguarded_span_in_sibling_branch_flagged(self):
+        run = lint(unit("""
+            class Engine:
+                def run(self):
+                    spans = self.spans
+                    if spans is not None:
+                        spans.span("sim.run")
+                    else:
+                        spans.record("sim.run", 0.0)
+        """, module="repro.sim.engine2"), select=["SL009"])
+        assert len(run.findings) == 1
+        assert "record" in run.findings[0].message
+
+    def test_parameter_receiver_is_caller_guaranteed(self):
+        run = lint(unit("""
+            class Flow:
+                def _trace_cwnd(self, trace):
+                    trace.emit("tcp.cwnd", self.sim.now, cwnd=self.cwnd)
+        """, module="repro.net.tcp2"), select=["SL009"])
+        assert run.findings == []
+
+    def test_guard_does_not_leak_into_sibling_statements(self):
+        run = lint(unit("""
+            class AP:
+                def on_frame(self, frame):
+                    trace = self.sim.trace
+                    if trace is not None:
+                        pass
+                    trace.emit("mac.rx", self.sim.now)
+        """, module="repro.mac.ap2"), select=["SL009"])
+        assert len(run.findings) == 1
+
+    def test_outside_hotpath_packages_ok(self):
+        run = lint(unit("""
+            def report(trace_path):
+                bus.emit("exec.done", 0.0)
+        """, module="repro.exec.workers2"), select=["SL009"])
+        assert run.findings == []
+
+    def test_hotpath_packages_configurable(self):
+        config = LintConfig(hotpath_packages=("custom.pkg",))
+        source = "bus.emit('x.y', 0.0)\n"
+        flagged = lint(unit(source, module="custom.pkg.mod"), config=config, select=["SL009"])
+        clean = lint(unit(source, module="repro.mac.mod"), config=config, select=["SL009"])
+        assert len(flagged.findings) == 1
+        assert clean.findings == []
+
+
 class TestSuppressionsAndBaseline:
     def test_line_suppression_moves_finding_aside(self):
         run = lint(unit("""
