@@ -62,6 +62,12 @@ class LintConfig:
     #: Packages where trace/span emission must sit behind an
     #: ``is not None`` guard (SL009).
     hotpath_packages: Tuple[str, ...] = DEFAULT_HOTPATH_PACKAGES
+    #: The one package allowed to touch process/socket primitives
+    #: (SL010); everything else goes through the ExecutionBackend ABC.
+    backend_package: str = "repro.exec.backend"
+    #: Dotted-module globs exempt from SL010 for non-placement reasons
+    #: (e.g. shelling out to ``git`` for provenance).
+    backend_allow: Tuple[str, ...] = ()
     #: Default baseline path, relative to the config file's directory.
     baseline: str = "simlint-baseline.json"
     #: Plugin modules imported for their rule-registration side effect.
@@ -117,6 +123,10 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
         config.scenario_package = str(table["scenario-package"])
     if "hotpath-packages" in table:
         config.hotpath_packages = _tuple(table["hotpath-packages"], "hotpath-packages")
+    if "backend-package" in table:
+        config.backend_package = str(table["backend-package"])
+    if "backend-allow" in table:
+        config.backend_allow = _tuple(table["backend-allow"], "backend-allow")
     if "baseline" in table:
         config.baseline = str(table["baseline"])
     if "plugins" in table:

@@ -1,10 +1,18 @@
 """Built-in simlint rules.
 
-Importing this package registers SL001–SL009 with the rule registry in
+Importing this package registers SL001–SL010 with the rule registry in
 :mod:`repro.analysis.core`; third-party rules register identically from
 modules listed under ``[tool.simlint] plugins``.
 """
 
-from repro.analysis.rules import determinism, guards, phy, protocol, taxonomy, worldbuild
+from repro.analysis.rules import (
+    boundary,
+    determinism,
+    guards,
+    phy,
+    protocol,
+    taxonomy,
+    worldbuild,
+)
 
-__all__ = ["determinism", "guards", "phy", "protocol", "taxonomy", "worldbuild"]
+__all__ = ["boundary", "determinism", "guards", "phy", "protocol", "taxonomy", "worldbuild"]

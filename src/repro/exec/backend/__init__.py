@@ -1,0 +1,51 @@
+"""``repro.exec.backend`` — pluggable "where shards run" backends.
+
+The :class:`ExecutionBackend` ABC (``submit``/``capacity``/``health``/
+``shutdown``) abstracts shard placement away from the orchestration in
+``repro.exec.workers``. Three implementations ship:
+
+- :class:`LocalPoolBackend` — one machine, a ``ProcessPoolExecutor``
+  (the behavior-identical refactor of the historical pool);
+- :class:`SubprocessSSHBackend` — persistent remote workers over a
+  stdio shard-RPC protocol with per-host concurrency limits, heartbeat
+  timeouts, and host blacklisting (localhost = plain subprocess);
+- :class:`QueueDirBackend` — a filesystem job queue: shards spooled to
+  disk, claimed atomically via rename by N independent worker
+  processes.
+
+Selected from the CLI as ``--backend local:N | ssh:host[*slots],... |
+queuedir:PATH[?workers=N]`` via :func:`make_backend`. simlint SL010
+(``backend-boundary``) keeps executor/subprocess primitives inside
+this package — everything else goes through the ABC.
+"""
+
+from repro.exec.backend.base import (
+    BackendBroken,
+    BackendError,
+    BackendFuture,
+    ExecutionBackend,
+    RemoteShardError,
+    ShardRequest,
+    WorkerTimeout,
+    make_backend,
+    parse_backend_spec,
+)
+from repro.exec.backend.local import LocalPoolBackend
+from repro.exec.backend.queuedir import QueueDirBackend
+from repro.exec.backend.ssh import HostSpec, SubprocessSSHBackend
+
+__all__ = [
+    "BackendBroken",
+    "BackendError",
+    "BackendFuture",
+    "ExecutionBackend",
+    "HostSpec",
+    "LocalPoolBackend",
+    "QueueDirBackend",
+    "RemoteShardError",
+    "ShardRequest",
+    "SubprocessSSHBackend",
+    "WorkerTimeout",
+    "make_backend",
+    "parse_backend_spec",
+]

@@ -1,0 +1,286 @@
+"""The execution-backend contract: where shards run.
+
+``repro.exec.workers`` owns the *strategy* of a run — cache scan,
+retry/backoff, shard-order results, inline degradation — but is
+agnostic about *where* a shard executes. That question is this
+package's: an :class:`ExecutionBackend` accepts a
+:class:`ShardRequest`, runs it somewhere (a local process pool, a
+remote worker over a stdio RPC pipe, a filesystem job queue), and hands
+back a :class:`BackendFuture` resolving to the shard's payload.
+
+The contract the orchestrator relies on:
+
+- :meth:`ExecutionBackend.submit` never blocks on shard execution; it
+  may queue internally when every worker is busy.
+- ``future.result(timeout)`` returns a payload dict with ``result``
+  (the shard's return value), ``worker_seconds`` (worker-side wall
+  time), and ``worker`` (a lane label for telemetry/Perfetto). It
+  raises :class:`concurrent.futures.TimeoutError` when the caller's
+  deadline passes (retryable), :class:`WorkerTimeout` when the backend
+  itself declared the worker dead (retryable), any other exception for
+  a shard-level failure (retryable), and :class:`BackendBroken` when
+  the whole backend is unusable — the orchestrator then degrades to
+  in-process sequential execution, exactly like the historical
+  ``BrokenProcessPool`` path.
+- :meth:`ExecutionBackend.capacity` is the number of shards the
+  backend can run concurrently *right now* (blacklisted hosts and dead
+  workers excluded); 0 means "do not submit".
+- :meth:`ExecutionBackend.health` is a JSON-able snapshot for
+  telemetry and operators; :meth:`ExecutionBackend.shutdown` releases
+  workers without waiting for stuck ones.
+
+Backends emit ``backend.*`` trace events (taxonomy in
+:mod:`repro.obs.trace`) when a bus is attached; timestamps are wall
+seconds since the backend started — harness time, never sim time.
+"""
+
+from __future__ import annotations
+
+import abc
+import base64
+import pickle
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.trace import TraceBus
+
+
+class BackendError(RuntimeError):
+    """Base class for backend-layer failures."""
+
+
+class BackendBroken(BackendError):
+    """The whole backend is unusable; degrade to inline execution."""
+
+
+class WorkerTimeout(BackendError):
+    """A worker stopped heartbeating or died mid-shard; retryable."""
+
+
+class RemoteShardError(BackendError):
+    """The shard itself raised in a remote worker.
+
+    Carries the remote traceback text so the failure is debuggable
+    from the orchestrator side.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """One unit of work handed to a backend.
+
+    ``module_name``/``func_name``/``params`` mirror
+    :func:`repro.exec.shards.invoke_shard`; ``key`` and ``experiment``
+    ride along for progress lines, trace events, and spool filenames.
+    """
+
+    experiment: str
+    module_name: str
+    func_name: str
+    key: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+class BackendFuture(abc.ABC):
+    """Handle for one submitted shard; see the module docstring."""
+
+    @abc.abstractmethod
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the payload is ready (or ``timeout`` passes)."""
+
+
+class SettableFuture(BackendFuture):
+    """Event-backed future the backend resolves from a reader thread.
+
+    ``watchdog`` (if given) runs once per wait slice and may raise to
+    fail the wait early — the SSH backend uses it to enforce heartbeat
+    deadlines without a dedicated monitor thread.
+    """
+
+    _POLL = 0.05
+
+    def __init__(self, watchdog: Optional[Callable[[], None]] = None):
+        self._event = threading.Event()
+        self._payload: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        self._watchdog = watchdog
+
+    def set_result(self, payload: Dict[str, Any]) -> None:
+        self._payload = payload
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        if not self._event.is_set():
+            self._error = error
+            self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._event.is_set():
+            if self._watchdog is not None:
+                self._watchdog()
+                if self._event.is_set():
+                    break
+            remaining = self._POLL if deadline is None else min(self._POLL, deadline - time.monotonic())
+            if remaining <= 0:
+                raise FutureTimeoutError()
+            self._event.wait(remaining)
+        if self._error is not None:
+            raise self._error
+        assert self._payload is not None
+        return self._payload
+
+
+class ExecutionBackend(abc.ABC):
+    """Abstract "where shards run"; see the module docstring."""
+
+    #: Short backend id for telemetry/trace/health ("pool", "ssh", "queue").
+    name: str = "backend"
+
+    def __init__(self, bus: Optional[TraceBus] = None):
+        self.bus = bus
+        self._t0 = time.monotonic()
+
+    @abc.abstractmethod
+    def submit(self, request: ShardRequest) -> BackendFuture:
+        """Queue one shard; raises :class:`BackendBroken` when unusable."""
+
+    @abc.abstractmethod
+    def capacity(self) -> int:
+        """Usable concurrent-shard slots right now (0 = don't submit)."""
+
+    def health(self) -> Dict[str, Any]:
+        """JSON-able status snapshot; subclasses extend the base dict."""
+        return {"backend": self.name, "capacity": self.capacity()}
+
+    @abc.abstractmethod
+    def shutdown(self, wait: bool = False) -> None:
+        """Release workers; must not block on stuck shards."""
+
+    # -- trace plumbing --------------------------------------------------
+    #
+    # Backends emit ``backend.*`` events directly on ``self.bus`` under
+    # the usual `bus is not None` guard (call sites name the taxonomy
+    # constants, so SL004 can verify them); this is their time axis.
+
+    def trace_time(self) -> float:
+        """Seconds since backend construction (the bus's time axis)."""
+        return time.monotonic() - self._t0
+
+
+# -- wire helpers ------------------------------------------------------------
+#
+# Shard parameters and results are arbitrary picklable values, but the
+# RPC envelopes (stdio lines, spool task files) are JSON for
+# inspectability. Pickle-inside-base64 bridges the two without mangling
+# tuples into lists the way raw JSON would — tuple-vs-list matters to
+# cache keys' spelling stability and to experiments' parameter types.
+
+
+def encode_payload(value: Any) -> str:
+    """Pickle ``value`` and wrap it base64 for a JSON envelope."""
+    return base64.b64encode(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+# -- backend spec parsing ----------------------------------------------------
+#
+# The CLI selects a backend with one string (the ``backend.*`` config
+# surface): ``local[:N]``, ``ssh:host[*slots][,host...][?opt=v&...]``,
+# ``queuedir:PATH[?workers=N&...]``. Options after ``?`` are the
+# backend's keyword knobs; unknown options fail fast.
+
+
+def parse_backend_spec(spec: str) -> Tuple[str, str, Dict[str, str]]:
+    """``"kind:arg?k=v&k=v"`` → ``(kind, arg, options)``."""
+    head, _, query = spec.partition("?")
+    kind, _, arg = head.partition(":")
+    options: Dict[str, str] = {}
+    if query:
+        for pair in query.split("&"):
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise ValueError(f"backend spec {spec!r}: malformed option {pair!r}")
+            options[key] = value
+    return kind.strip().lower(), arg, options
+
+
+def _float_option(options: Dict[str, str], key: str, default: float) -> float:
+    raw = options.pop(key, None)
+    return default if raw is None else float(raw)
+
+
+def _int_option(options: Dict[str, str], key: str, default: int) -> int:
+    raw = options.pop(key, None)
+    return default if raw is None else int(raw)
+
+
+def make_backend(
+    spec: Optional[str], jobs: int = 1, bus: Optional[TraceBus] = None
+) -> Optional["ExecutionBackend"]:
+    """Build a backend from a CLI spec string.
+
+    ``None`` and ``"local"`` (without an explicit worker count) return
+    ``None`` — the orchestrator then uses its built-in local-pool
+    strategy, sized per call, exactly as before this subsystem existed.
+    """
+    if spec is None:
+        return None
+    kind, arg, options = parse_backend_spec(spec)
+    if kind == "local":
+        if options:
+            raise ValueError(f"backend spec {spec!r}: local takes no ?options")
+        if not arg:
+            return None
+        from repro.exec.backend.local import LocalPoolBackend
+
+        return LocalPoolBackend(max_workers=int(arg), bus=bus)
+    if kind == "ssh":
+        from repro.exec.backend.ssh import HostSpec, SubprocessSSHBackend
+
+        if not arg:
+            raise ValueError(f"backend spec {spec!r}: ssh needs host[,host...]")
+        hosts: List[HostSpec] = []
+        for chunk in arg.split(","):
+            host, _, slots = chunk.partition("*")
+            if not host:
+                raise ValueError(f"backend spec {spec!r}: empty host in {chunk!r}")
+            hosts.append(HostSpec(host=host.strip(), slots=int(slots) if slots else 1))
+        heartbeat = _float_option(options, "heartbeat", 30.0)
+        hb_interval = _float_option(options, "hb-interval", 1.0)
+        blacklist_after = _int_option(options, "blacklist-after", 3)
+        if options:
+            raise ValueError(f"backend spec {spec!r}: unknown option(s) {sorted(options)}")
+        return SubprocessSSHBackend(
+            hosts,
+            heartbeat_timeout=heartbeat,
+            hb_interval=hb_interval,
+            blacklist_after=blacklist_after,
+            bus=bus,
+        )
+    if kind == "queuedir":
+        from repro.exec.backend.queuedir import QueueDirBackend
+
+        if not arg:
+            raise ValueError(f"backend spec {spec!r}: queuedir needs a spool path")
+        workers = _int_option(options, "workers", jobs)
+        poll = _float_option(options, "poll", 0.05)
+        if options:
+            raise ValueError(f"backend spec {spec!r}: unknown option(s) {sorted(options)}")
+        return QueueDirBackend(arg, workers=workers, poll_interval=poll, bus=bus)
+    raise ValueError(f"unknown backend kind {kind!r} (known: local, ssh, queuedir)")

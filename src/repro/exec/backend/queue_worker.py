@@ -1,0 +1,137 @@
+"""Filesystem-queue worker: drains a ``QueueDirBackend`` spool.
+
+Run as ``python -m repro.exec.backend.queue_worker SPOOL``. Any number
+of these can run concurrently against the same spool — on this host or
+on any host sharing the filesystem — because a task is *claimed* with
+``os.rename``, which the filesystem makes atomic: exactly one claimant
+wins, the losers see ``FileNotFoundError`` and move on.
+
+Lifecycle: poll ``pending/``, claim, execute, write the result
+atomically into ``results/``, repeat. Exit when the spool's ``stop``
+marker exists and no pending work remains, when ``--idle-exit``
+seconds pass without work, or after ``--max-tasks`` tasks (test hook).
+
+A worker that dies mid-task leaves its claim file behind; the
+orchestrator's retry loop resubmits the shard under a fresh task id,
+so stale claims are garbage, not lost work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+PENDING = "pending"
+CLAIMED = "claimed"
+RESULTS = "results"
+STOP = "stop"
+
+
+def write_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    """Pickle ``payload`` to ``path`` via temp file + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def claim_one(spool: Path) -> Optional[Path]:
+    """Atomically claim the oldest pending task; None when empty."""
+    pending = spool / PENDING
+    try:
+        names = sorted(entry.name for entry in pending.iterdir() if entry.suffix == ".task")
+    except FileNotFoundError:
+        return None
+    for name in names:
+        target = spool / CLAIMED / f"{name}.{os.getpid()}"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(pending / name, target)
+        except FileNotFoundError:
+            continue  # another worker won the rename
+        return target
+    return None
+
+
+def execute_claim(spool: Path, claim: Path) -> None:
+    """Run one claimed task and publish its result."""
+    import traceback
+
+    from repro.exec.shards import invoke_shard
+
+    with open(claim, "rb") as handle:
+        task = pickle.load(handle)
+    started = time.perf_counter()
+    try:
+        result = invoke_shard(task["module"], task["func"], task["params"])
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "result": result,
+            "worker_seconds": time.perf_counter() - started,
+        }
+    except BaseException as exc:  # a shard failure must not kill the worker
+        payload = {"ok": False, "error": repr(exc), "traceback": traceback.format_exc()}
+    payload["worker"] = f"queue-worker/{os.getpid()}"
+    write_atomic(spool / RESULTS / f"{task['id']}.pkl", payload)
+    try:
+        claim.unlink()
+    except OSError:
+        pass
+
+
+def drain(
+    spool: Path,
+    poll: float = 0.05,
+    idle_exit: float = 0.0,
+    max_tasks: int = 0,
+) -> int:
+    """The worker loop; returns the number of tasks executed."""
+    executed = 0
+    idle_since = time.monotonic()
+    while True:
+        claim = claim_one(spool)
+        if claim is not None:
+            execute_claim(spool, claim)
+            executed += 1
+            idle_since = time.monotonic()
+            if max_tasks and executed >= max_tasks:
+                return executed
+            continue
+        if (spool / STOP).exists():
+            return executed
+        if idle_exit and time.monotonic() - idle_since > idle_exit:
+            return executed
+        time.sleep(poll)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.exec.backend.queue_worker")
+    parser.add_argument("spool", help="spool directory shared with QueueDirBackend")
+    parser.add_argument("--poll", type=float, default=0.05, metavar="S")
+    parser.add_argument(
+        "--idle-exit", type=float, default=0.0, metavar="S", help="exit after S idle seconds"
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=0, metavar="N", help="exit after N tasks (test hook)"
+    )
+    args = parser.parse_args(argv)
+    drain(Path(args.spool), poll=args.poll, idle_exit=args.idle_exit, max_tasks=args.max_tasks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

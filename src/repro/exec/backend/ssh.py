@@ -1,0 +1,443 @@
+"""``SubprocessSSHBackend``: remote workers over a stdio shard-RPC pipe.
+
+Each host gets ``slots`` persistent worker processes, each reached by
+``<command prefix> python -m repro.exec.backend.worker`` where the
+prefix is ``ssh -o BatchMode=yes <host>`` for real remotes and empty
+for ``localhost`` — "ssh-ing to localhost" is then a plain subprocess,
+which is exactly how the backend is exercised in tests and CI without
+any sshd. The wire format is documented in
+:mod:`repro.exec.backend.worker`.
+
+Fault model (everything here is *transport*-level; a shard raising
+cleanly inside a worker is the shard's problem and never counts
+against the host):
+
+- A worker whose stdout hits EOF died (crash, OOM-kill, dropped ssh
+  connection): its in-flight shard fails with
+  :class:`~repro.exec.backend.base.WorkerTimeout` (the orchestrator
+  retries it elsewhere) and the host takes one failure.
+- A worker that keeps running but stops heartbeating for
+  ``heartbeat_timeout`` seconds is indistinguishable from dead: same
+  treatment, enforced by the future's watchdog while the orchestrator
+  waits (no dedicated monitor thread).
+- A host with ``blacklist_after`` transport failures is blacklisted:
+  its workers are killed, nothing respawns there, and if it was the
+  last usable host the backend declares itself
+  :class:`~repro.exec.backend.base.BackendBroken` so the orchestrator
+  degrades to inline execution.
+
+Dead workers on healthy hosts are respawned lazily when there is
+queued work to give them.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.exec.backend.base import (
+    BackendBroken,
+    BackendFuture,
+    ExecutionBackend,
+    RemoteShardError,
+    SettableFuture,
+    ShardRequest,
+    WorkerTimeout,
+    decode_payload,
+    encode_payload,
+)
+from repro.obs.trace import (
+    BACKEND_BLACKLIST,
+    BACKEND_RESULT,
+    BACKEND_SUBMIT,
+    BACKEND_WORKER_DEAD,
+    TraceBus,
+)
+
+#: Host names that mean "this machine, no ssh": the worker is launched
+#: as a plain subprocess with an empty command prefix.
+LOCAL_HOSTS = frozenset({"localhost", "local", "127.0.0.1", "::1"})
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One host and its concurrency limit (worker slots)."""
+
+    host: str
+    slots: int = 1
+
+
+def default_command(host: str) -> List[str]:
+    """The command prefix that reaches ``host``."""
+    if host in LOCAL_HOSTS:
+        return []
+    return ["ssh", "-o", "BatchMode=yes", host]
+
+
+class _Host:
+    """Mutable per-host state: failures, blacklist, worker serials."""
+
+    def __init__(self, spec: HostSpec):
+        self.spec = spec
+        self.failures = 0
+        self.blacklisted = False
+        self.serial = 0
+
+
+class _Pending:
+    """One submitted request: queued until assigned to a worker."""
+
+    def __init__(self, request: ShardRequest, future: SettableFuture):
+        self.request = request
+        self.future = future
+        self.worker: Optional["_Worker"] = None
+
+
+_SPAWNING = "spawning"
+_READY = "ready"
+_BUSY = "busy"
+_DEAD = "dead"
+
+
+class _Worker:
+    """One worker subprocess plus its reader thread."""
+
+    def __init__(self, host: _Host, label: str, proc: "subprocess.Popen[str]"):
+        self.host = host
+        self.label = label
+        self.proc = proc
+        self.state = _SPAWNING
+        self.last_seen = time.monotonic()
+        self.current: Optional[_Pending] = None
+        self.next_id = 0
+
+
+class SubprocessSSHBackend(ExecutionBackend):
+    """Remote (or localhost-subprocess) workers over shard RPC."""
+
+    name = "ssh"
+
+    def __init__(
+        self,
+        hosts: List[HostSpec],
+        python: Optional[str] = None,
+        command_for: Optional[Callable[[str], List[str]]] = None,
+        heartbeat_timeout: float = 30.0,
+        hb_interval: float = 1.0,
+        blacklist_after: int = 3,
+        bus: Optional[TraceBus] = None,
+    ):
+        super().__init__(bus=bus)
+        if not hosts:
+            raise ValueError("SubprocessSSHBackend needs at least one host")
+        self.python = python or sys.executable
+        self.command_for = command_for or default_command
+        self.heartbeat_timeout = heartbeat_timeout
+        self.hb_interval = hb_interval
+        self.blacklist_after = max(1, blacklist_after)
+        self._lock = threading.Lock()
+        self._hosts = [_Host(spec) for spec in hosts]
+        self._workers: List[_Worker] = []
+        self._queue: Deque[_Pending] = deque()
+        self._shutdown = False
+        with self._lock:
+            self._top_up()
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, request: ShardRequest) -> BackendFuture:
+        pending_box: List[_Pending] = []
+        future = SettableFuture(watchdog=lambda: self._watchdog(pending_box[0]))
+        pending = _Pending(request, future)
+        pending_box.append(pending)
+        with self._lock:
+            if self._shutdown:
+                raise BackendBroken("ssh backend is shut down")
+            if not self._usable_hosts():
+                raise BackendBroken("every ssh host is blacklisted")
+            self._queue.append(pending)
+            self._top_up()
+            self._dispatch()
+        return future
+
+    def capacity(self) -> int:
+        with self._lock:
+            return sum(host.spec.slots for host in self._usable_hosts())
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            live: Dict[str, int] = {}
+            for worker in self._workers:
+                live[worker.host.spec.host] = live.get(worker.host.spec.host, 0) + 1
+            return {
+                "backend": self.name,
+                "capacity": sum(host.spec.slots for host in self._usable_hosts()),
+                "queued": len(self._queue),
+                "hosts": [
+                    {
+                        "host": host.spec.host,
+                        "slots": host.spec.slots,
+                        "workers": live.get(host.spec.host, 0),
+                        "failures": host.failures,
+                        "blacklisted": host.blacklisted,
+                    }
+                    for host in self._hosts
+                ],
+            }
+
+    def shutdown(self, wait: bool = False) -> None:
+        with self._lock:
+            self._shutdown = True
+            workers, self._workers = self._workers, []
+            for pending in self._queue:
+                pending.future.set_exception(BackendBroken("ssh backend shut down"))
+            self._queue.clear()
+        for worker in workers:
+            try:
+                if worker.proc.stdin is not None:
+                    worker.proc.stdin.write(json.dumps({"op": "exit"}) + "\n")
+                    worker.proc.stdin.flush()
+                    worker.proc.stdin.close()
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + (5.0 if wait else 0.5)
+        for worker in workers:
+            try:
+                worker.proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+
+    # -- internals (all called with self._lock held) ---------------------
+
+    def _usable_hosts(self) -> List[_Host]:
+        return [host for host in self._hosts if not host.blacklisted]
+
+    def _top_up(self) -> None:
+        """Respawn workers on healthy hosts up to their slot counts."""
+        if self._shutdown:
+            return
+        live: Dict[str, int] = {}
+        for worker in self._workers:
+            live[worker.host.spec.host] = live.get(worker.host.spec.host, 0) + 1
+        for host in self._usable_hosts():
+            while live.get(host.spec.host, 0) < host.spec.slots:
+                if self._spawn(host) is None:
+                    break  # spawn failure already recorded; try later
+                live[host.spec.host] = live.get(host.spec.host, 0) + 1
+
+    def _spawn(self, host: _Host) -> Optional[_Worker]:
+        argv = list(self.command_for(host.spec.host)) + [
+            self.python,
+            "-m",
+            "repro.exec.backend.worker",
+            "--hb-interval",
+            str(self.hb_interval),
+        ]
+        host.serial += 1
+        label = f"{host.spec.host}/{host.serial}"
+        try:
+            proc = subprocess.Popen(
+                argv,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+        except OSError as exc:
+            self._host_failure(host, f"spawn failed: {exc!r}")
+            return None
+        worker = _Worker(host, label, proc)
+        self._workers.append(worker)
+        reader = threading.Thread(target=self._reader, args=(worker,), daemon=True)
+        reader.start()
+        return worker
+
+    def _dispatch(self) -> None:
+        """Hand queued requests to idle ready workers."""
+        while self._queue:
+            idle = next((w for w in self._workers if w.state == _READY), None)
+            if idle is None:
+                return
+            pending = self._queue.popleft()
+            pending.worker = idle
+            idle.current = pending
+            idle.state = _BUSY
+            idle.next_id += 1
+            idle.last_seen = time.monotonic()
+            line = json.dumps(
+                {
+                    "op": "run",
+                    "id": idle.next_id,
+                    "module": pending.request.module_name,
+                    "func": pending.request.func_name,
+                    "params": encode_payload(pending.request.params),
+                    "hb_interval": self.hb_interval,
+                }
+            )
+            try:
+                assert idle.proc.stdin is not None
+                idle.proc.stdin.write(line + "\n")
+                idle.proc.stdin.flush()
+            except (OSError, ValueError):
+                self._worker_died(idle, "stdin closed")
+                continue
+            bus = self.bus
+            if bus is not None:
+                bus.emit(
+                    BACKEND_SUBMIT,
+                    self.trace_time(),
+                    backend=self.name,
+                    key=pending.request.key,
+                    worker=idle.label,
+                )
+
+    def _reader(self, worker: _Worker) -> None:
+        """Per-worker thread: consume protocol lines until EOF."""
+        stdout = worker.proc.stdout
+        assert stdout is not None
+        for line in stdout:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            with self._lock:
+                if worker.state == _DEAD:
+                    return
+                worker.last_seen = time.monotonic()
+                op = message.get("op")
+                if op == "ready":
+                    worker.state = _READY
+                    self._dispatch()
+                elif op == "done":
+                    self._complete(worker, message)
+        with self._lock:
+            self._worker_died(worker, "eof")
+
+    def _complete(self, worker: _Worker, message: Dict[str, Any]) -> None:
+        pending = worker.current
+        worker.current = None
+        worker.state = _READY
+        if pending is None:
+            return
+        bus = self.bus
+        if message.get("ok"):
+            if bus is not None:
+                bus.emit(
+                    BACKEND_RESULT,
+                    self.trace_time(),
+                    backend=self.name,
+                    key=pending.request.key,
+                    worker=worker.label,
+                    ok=True,
+                    worker_seconds=float(message.get("worker_seconds", 0.0)),
+                )
+            pending.future.set_result(
+                {
+                    "result": decode_payload(message["result"]),
+                    "worker_seconds": float(message.get("worker_seconds", 0.0)),
+                    "worker": worker.label,
+                }
+            )
+        else:
+            if bus is not None:
+                bus.emit(
+                    BACKEND_RESULT,
+                    self.trace_time(),
+                    backend=self.name,
+                    key=pending.request.key,
+                    worker=worker.label,
+                    ok=False,
+                )
+            pending.future.set_exception(
+                RemoteShardError(
+                    f"shard {pending.request.key!r} failed on {worker.label}: "
+                    f"{message.get('error', 'unknown error')}",
+                    remote_traceback=str(message.get("traceback", "")),
+                )
+            )
+        self._dispatch()
+
+    def _worker_died(self, worker: _Worker, reason: str) -> None:
+        if worker.state == _DEAD:
+            return
+        worker.state = _DEAD
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.proc.kill()
+        except OSError:
+            pass
+        bus = self.bus
+        if bus is not None:
+            bus.emit(
+                BACKEND_WORKER_DEAD,
+                self.trace_time(),
+                backend=self.name,
+                worker=worker.label,
+                reason=reason,
+            )
+        pending = worker.current
+        worker.current = None
+        if pending is not None:
+            pending.future.set_exception(
+                WorkerTimeout(f"worker {worker.label} died ({reason})")
+            )
+        self._host_failure(worker.host, reason)
+
+    def _host_failure(self, host: _Host, reason: str) -> None:
+        host.failures += 1
+        if host.failures >= self.blacklist_after and not host.blacklisted:
+            host.blacklisted = True
+            bus = self.bus
+            if bus is not None:
+                bus.emit(
+                    BACKEND_BLACKLIST,
+                    self.trace_time(),
+                    backend=self.name,
+                    host=host.spec.host,
+                    failures=host.failures,
+                )
+            for worker in [w for w in self._workers if w.host is host]:
+                self._worker_died(worker, "host blacklisted")
+        if not self._usable_hosts():
+            # Last host gone: fail everything still queued so waiters
+            # degrade instead of hanging.
+            for pending in self._queue:
+                pending.future.set_exception(BackendBroken("every ssh host is blacklisted"))
+            self._queue.clear()
+
+    def _watchdog(self, pending: _Pending) -> None:
+        """Run from the waiting future: enforce heartbeat deadlines."""
+        with self._lock:
+            if pending.future.done:
+                return
+            worker = pending.worker
+            now = time.monotonic()
+            if worker is not None:
+                if worker.state in (_BUSY, _SPAWNING) and (
+                    now - worker.last_seen > self.heartbeat_timeout
+                ):
+                    self._worker_died(worker, "heartbeat timeout")
+                return
+            # Still queued: reap any stuck spawns so the queue drains or
+            # the backend declares itself broken.
+            for candidate in list(self._workers):
+                if candidate.state == _SPAWNING and (
+                    now - candidate.last_seen > self.heartbeat_timeout
+                ):
+                    self._worker_died(candidate, "never became ready")
+            if not self._usable_hosts() and pending in self._queue:
+                self._queue.remove(pending)
+                pending.future.set_exception(BackendBroken("every ssh host is blacklisted"))
+            elif not self._workers:
+                self._top_up()
+                self._dispatch()

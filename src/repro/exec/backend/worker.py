@@ -1,0 +1,143 @@
+"""Shard-RPC worker: the remote end of ``SubprocessSSHBackend``.
+
+Run as ``python -m repro.exec.backend.worker`` (typically behind
+``ssh <host>``). Speaks newline-delimited JSON over stdio:
+
+controller → worker (stdin)::
+
+    {"op": "run", "id": N, "module": "...", "func": "...", "params": "<b64 pickle>"}
+    {"op": "exit"}
+
+worker → controller (stdout)::
+
+    {"op": "ready", "pid": P}                                   on startup
+    {"op": "hb", "id": N}                                       every --hb-interval while a shard runs
+    {"op": "done", "id": N, "ok": true,
+     "result": "<b64 pickle>", "worker_seconds": S}             on success
+    {"op": "done", "id": N, "ok": false,
+     "error": "...", "traceback": "..."}                        on shard failure
+
+The heartbeat is the liveness signal: a worker that keeps running but
+stops heartbeating (swapped out, stuck in uninterruptible I/O, frozen
+host) is indistinguishable from a dead one, so the controller declares
+it dead after ``heartbeat_timeout`` and resubmits the shard elsewhere.
+
+Shard code must never corrupt the protocol stream, so the real stdout
+is dup'ed away for protocol use and fd 1 is pointed at stderr before
+any experiment module is imported — even C-level prints from a shard
+land in the (discarded or logged) stderr stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, TextIO
+
+
+def _claim_stdout() -> TextIO:
+    """Reserve the protocol channel; route shard prints to stderr."""
+    proto = os.fdopen(os.dup(1), "w", encoding="utf-8")
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+    return proto
+
+
+def _send(proto: TextIO, message: Dict[str, Any]) -> None:
+    proto.write(json.dumps(message) + "\n")
+    proto.flush()
+
+
+class _Heartbeat:
+    """Emits ``hb`` lines for one shard from a daemon thread."""
+
+    def __init__(self, proto: TextIO, lock: threading.Lock, request_id: int, interval: float):
+        self._proto = proto
+        self._lock = lock
+        self._id = request_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        if self._interval > 0:
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            with self._lock:
+                _send(self._proto, {"op": "hb", "id": self._id})
+
+
+def _run_request(proto: TextIO, lock: threading.Lock, request: Dict[str, Any]) -> None:
+    from repro.exec.backend.base import decode_payload, encode_payload
+    from repro.exec.shards import invoke_shard
+
+    request_id = int(request["id"])
+    started = time.perf_counter()
+    try:
+        params = decode_payload(request["params"])
+        with _Heartbeat(proto, lock, request_id, float(request.get("hb_interval", 1.0))):
+            result = invoke_shard(request["module"], request["func"], params)
+        done = {
+            "op": "done",
+            "id": request_id,
+            "ok": True,
+            "result": encode_payload(result),
+            "worker_seconds": time.perf_counter() - started,
+        }
+    except BaseException as exc:  # a shard failure must not kill the worker
+        done = {
+            "op": "done",
+            "id": request_id,
+            "ok": False,
+            "error": repr(exc),
+            "traceback": traceback.format_exc(),
+        }
+    with lock:
+        _send(proto, done)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.exec.backend.worker")
+    parser.add_argument(
+        "--hb-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="default heartbeat period while a shard runs (seconds)",
+    )
+    args = parser.parse_args(argv)
+
+    proto = _claim_stdout()
+    lock = threading.Lock()
+    with lock:
+        _send(proto, {"op": "ready", "pid": os.getpid()})
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # garbage on stdin (e.g. a motd leaking through ssh)
+        op = request.get("op")
+        if op == "exit":
+            break
+        if op == "run":
+            request.setdefault("hb_interval", args.hb_interval)
+            _run_request(proto, lock, request)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,21 @@ from typing import Any, Dict, Optional, Tuple, Union
 CACHE_FORMAT = 1
 
 
+def default_code_version() -> str:
+    """The cache's code-version key: git SHA, plus a dirty marker.
+
+    A tree with uncommitted changes is *not* the commit it reports, so
+    results computed from it must never collide with (nor later shadow)
+    the clean-SHA entries — ``<sha>+dirty`` keeps the two populations
+    disjoint. Dirty-tree entries still hit across reruns of the same
+    dirty tree, which is the common edit-run-edit loop.
+    """
+    from repro.obs.report import git_dirty, git_sha
+
+    sha = git_sha() or "unknown"
+    return f"{sha}+dirty" if git_dirty() else sha
+
+
 def canonical_text(value: Any) -> str:
     """A deterministic text form of a parameter structure.
 
@@ -61,9 +76,7 @@ class ResultCache:
     def __init__(self, root: Union[str, Path], code_version: Optional[str] = None):
         self.root = Path(root)
         if code_version is None:
-            from repro.obs.report import git_sha
-
-            code_version = git_sha() or "unknown"
+            code_version = default_code_version()
         self.code_version = code_version
         self.hits = 0
         self.misses = 0

@@ -19,7 +19,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.backend.base import ExecutionBackend
 from repro.exec.cache import ResultCache
+from repro.exec.journal import CampaignJournal
 from repro.exec.shards import ShardPlan, build_plan
 from repro.exec.workers import (
     SOURCE_CACHE,
@@ -30,6 +32,19 @@ from repro.exec.workers import (
     execute_shards,
 )
 from repro.obs.spans import SPAN_EXPERIMENT, current_profiler
+
+
+class CampaignAborted(RuntimeError):
+    """The campaign stopped early on purpose (``--die-after`` fault
+    injection). Everything completed so far is cached and journaled, so
+    ``--resume`` picks up exactly where this raise left off."""
+
+    def __init__(self, completed: int, planned: int):
+        super().__init__(
+            f"campaign aborted after {completed} of {planned} shard outcome(s) (--die-after)"
+        )
+        self.completed = completed
+        self.planned = planned
 
 
 @dataclass
@@ -55,11 +70,36 @@ class ExperimentExecution:
     def cache_hits(self) -> int:
         return self.count(SOURCE_CACHE)
 
+    def sources(self) -> Dict[str, int]:
+        """Executed-shard counts by source (cache excluded): ``pool``,
+        ``inline``, or whichever backend ran them (``ssh``, ``queue``)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.source != SOURCE_CACHE:
+                counts[outcome.source] = counts.get(outcome.source, 0) + 1
+        return counts
+
+    def workers(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker rollup for backend-executed shards: how many
+        shards each worker lane ran and how much compute it did."""
+        rollup: Dict[str, Dict[str, float]] = {}
+        for outcome in self.outcomes:
+            if not outcome.worker:
+                continue
+            entry = rollup.setdefault(outcome.worker, {"shards": 0, "worker_seconds": 0.0})
+            entry["shards"] += 1
+            entry["worker_seconds"] = round(entry["worker_seconds"] + outcome.worker_seconds, 6)
+        return rollup
+
     def summary_line(self) -> str:
+        sources = self.sources()
+        by_source = "".join(
+            f" {source}={sources[source]}" for source in sorted(sources)
+        ) or " executed=0"
         return (
             f"exec: {self.name} shards={self.shards_total} jobs={self.jobs}"
             f" cached={self.cache_hits}/{self.shards_total}"
-            f" pool={self.count(SOURCE_POOL)} inline={self.count(SOURCE_INLINE)}"
+            f"{by_source}"
             f" wall={self.wall_seconds:.2f}s"
         )
 
@@ -74,12 +114,15 @@ class ExperimentExecution:
 
     def telemetry(self) -> Dict:
         """Execution telemetry for the run manifest: where shards came
-        from, how often they retried, and where their time went."""
+        from (including which backend and which worker), how often they
+        retried, and where their time went."""
         return {
             "shards": self.shards_total,
             "cached": self.cache_hits,
             "pool": self.count(SOURCE_POOL),
             "inline": self.count(SOURCE_INLINE),
+            "sources": self.sources(),
+            "workers": self.workers(),
             "retries": self.retries,
             "wall_seconds": round(self.wall_seconds, 6),
             "worker_seconds": round(sum(o.worker_seconds for o in self.outcomes), 6),
@@ -92,6 +135,7 @@ class ExperimentExecution:
                     "wall": round(outcome.wall_seconds, 6),
                     "worker": round(outcome.worker_seconds, 6),
                     "queue": round(outcome.queue_seconds, 6),
+                    "worker_id": outcome.worker,
                 }
                 for outcome in self.outcomes
             ],
@@ -131,12 +175,15 @@ def execute_experiment(
     on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
     plan: Optional[ShardPlan] = None,
     parameters: Optional[Dict] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentExecution:
     """Run one experiment through the exec engine; returns its result
     dict (identical to ``run_experiment``'s) plus shard accounting.
 
     ``plan``/``parameters`` accept a pre-resolved :func:`resolve_plan`
-    result so the campaign loop does not plan twice.
+    result so the campaign loop does not plan twice. ``backend``
+    overrides shard placement (see ``repro.exec.backend``); ``None``
+    keeps the default local pool / inline strategy.
     """
     if plan is None:
         plan, parameters = resolve_plan(name, fast=fast, overrides=overrides)
@@ -156,6 +203,7 @@ def execute_experiment(
         cache=cache,
         experiment=name,
         on_outcome=on_outcome,
+        backend=backend,
     )
     result = plan.merge([outcome.result for outcome in outcomes])
     wall = time.perf_counter() - started
@@ -198,11 +246,24 @@ class CampaignResult:
     def telemetry(self) -> Dict:
         """Campaign-level execution counters (per-experiment detail
         lives in each run manifest's own ``telemetry``)."""
+        sources: Dict[str, int] = {}
+        workers: Dict[str, Dict[str, float]] = {}
+        for execution in self.executions:
+            for source, count in execution.sources().items():
+                sources[source] = sources.get(source, 0) + count
+            for worker, entry in execution.workers().items():
+                rollup = workers.setdefault(worker, {"shards": 0, "worker_seconds": 0.0})
+                rollup["shards"] += entry["shards"]
+                rollup["worker_seconds"] = round(
+                    rollup["worker_seconds"] + entry["worker_seconds"], 6
+                )
         return {
             "shards": self.shards_total,
             "cached": self.cache_hits,
             "pool": sum(e.count(SOURCE_POOL) for e in self.executions),
             "inline": sum(e.count(SOURCE_INLINE) for e in self.executions),
+            "sources": sources,
+            "workers": workers,
             "retries": sum(e.retries for e in self.executions),
             "wall_seconds": round(self.wall_seconds, 6),
             "worker_seconds": round(
@@ -222,6 +283,9 @@ def run_campaign(
     policy: Optional[ExecPolicy] = None,
     progress: Optional[Callable[[str], None]] = None,
     on_experiment: Optional[Callable[[ExperimentExecution], None]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    journal: Optional[CampaignJournal] = None,
+    die_after: Optional[int] = None,
 ) -> CampaignResult:
     """Fan a list of experiments out through one shared policy/cache.
 
@@ -231,8 +295,16 @@ def run_campaign(
 
     The whole campaign is planned up front (plans are pure, no
     simulation runs), so every shard line carries campaign-wide
-    progress ``[done/total]`` and — once one shard has completed — an
-    ETA extrapolated from the observed per-shard rate.
+    progress ``[done/total]`` and an ETA extrapolated from the observed
+    per-shard rate — shown as ``eta=?`` until at least one shard has
+    actually *executed* (cache hits land in microseconds and would
+    extrapolate an absurd ETA for the real work remaining).
+
+    ``backend`` places every experiment's shards (one backend spans the
+    campaign); ``journal`` receives plan/outcome records as they
+    happen (see ``repro.exec.journal``); ``die_after`` aborts the
+    campaign with :class:`CampaignAborted` after that many shard
+    outcomes — fault injection for testing ``--resume``.
     """
     campaign = CampaignResult(jobs=jobs, cache_stats=None)
     started = time.perf_counter()
@@ -241,6 +313,11 @@ def run_campaign(
     plans = [resolve_plan(name, fast=fast) for name in names]
     shards_planned = sum(len(plan) for plan, _ in plans)
     done_total = 0
+    executed_total = 0
+
+    if journal is not None:
+        for name, (plan, _) in zip(names, plans):
+            journal.plan(name, [shard.key for shard in plan.shards])
 
     for position, (name, (plan, parameters)) in enumerate(zip(names, plans), start=1):
         if progress is not None:
@@ -251,21 +328,41 @@ def run_campaign(
         done = 0
 
         def on_outcome(outcome: ShardOutcome, name: str = name) -> None:
-            nonlocal done, done_total
+            nonlocal done, done_total, executed_total
             done += 1
             done_total += 1
+            if outcome.source != SOURCE_CACHE:
+                executed_total += 1
+            if journal is not None:
+                journal.outcome(
+                    name,
+                    outcome.shard.key,
+                    outcome.source,
+                    outcome.attempts,
+                    outcome.wall_seconds,
+                )
             if progress is not None:
-                elapsed = time.perf_counter() - started
                 remaining = shards_planned - done_total
                 eta = ""
-                if remaining > 0 and elapsed > 0:
-                    eta = f" eta={elapsed / done_total * remaining:.0f}s"
+                if remaining > 0:
+                    # Extrapolate from *executed* shards only: cache
+                    # hits land in microseconds, and dividing wall time
+                    # by a done-count dominated by them is the old
+                    # eta=0s bug. Until one shard has actually run there
+                    # is nothing to extrapolate from, so say so.
+                    elapsed = time.perf_counter() - started
+                    if executed_total > 0 and elapsed > 0:
+                        eta = f" eta={elapsed / executed_total * remaining:.0f}s"
+                    else:
+                        eta = " eta=?"
                 progress(
                     f"  {name} shard {outcome.shard.key} -> {outcome.source}"
                     f" ({done} done, attempts={outcome.attempts},"
                     f" {outcome.wall_seconds:.2f}s)"
                     f" [{done_total}/{shards_planned}{eta}]"
                 )
+            if die_after is not None and done_total >= die_after:
+                raise CampaignAborted(done_total, shards_planned)
 
         def run_one() -> ExperimentExecution:
             return execute_experiment(
@@ -277,6 +374,7 @@ def run_campaign(
                 on_outcome=on_outcome,
                 plan=plan,
                 parameters=parameters,
+                backend=backend,
             )
 
         if profiler is not None:
@@ -292,6 +390,8 @@ def run_campaign(
             on_experiment(execution)
     campaign.wall_seconds = time.perf_counter() - started
     campaign.cache_stats = cache.stats() if cache is not None else None
+    if journal is not None:
+        journal.end(campaign.shards_total, campaign.cache_hits, campaign.wall_seconds)
     return campaign
 
 

@@ -207,7 +207,12 @@ DEFAULT_CACHE_DIR = ".spider-cache"
 
 
 def _exec_requested(args) -> bool:
-    return args.jobs is not None or args.cache_dir is not None or args.no_cache
+    return (
+        args.jobs is not None
+        or args.cache_dir is not None
+        or args.no_cache
+        or args.backend is not None
+    )
 
 
 def _make_cache(args):
@@ -259,16 +264,27 @@ def _run_observed(name: str, args) -> None:
         from repro.exec import execute_experiment
 
         jobs = args.jobs or 1
-        if inline_only and jobs > 1:
+        backend_spec = args.backend
+        if inline_only and (jobs > 1 or backend_spec):
             # Trace buses, metrics registries, and flight recorders live
             # in this process; worker processes would simulate where
             # they can't be seen.
             print(
                 "note: --trace/--metrics/--profile/--flight run shards in-process;"
-                " ignoring --jobs"
+                " ignoring --jobs/--backend"
             )
             jobs = 1
-        execution = execute_experiment(name, fast=args.fast, jobs=jobs, cache=_make_cache(args))
+            backend_spec = None
+        from repro.exec.backend import make_backend
+
+        backend = make_backend(backend_spec, jobs=jobs)
+        try:
+            execution = execute_experiment(
+                name, fast=args.fast, jobs=jobs, cache=_make_cache(args), backend=backend
+            )
+        finally:
+            if backend is not None:
+                backend.shutdown()
         return execution.result
 
     if not observed:
@@ -363,15 +379,63 @@ def _run_campaign(names, args) -> int:
     per-experiment shard telemetry. ``--spans`` additionally records
     the campaign's wall-time span tree (one ``shard:<key>`` lane per
     executed shard); ``--flight`` arms a crash post-mortem dump.
+
+    ``--backend`` places shards (local pool, SSH workers, queue dir);
+    ``--journal`` records the campaign durably; ``--resume JOURNAL``
+    re-runs a killed campaign against the same cache, so completed
+    shards are skipped and the merged output is byte-identical to an
+    uninterrupted run.
     """
     from repro.exec import campaign_manifest, run_campaign
+    from repro.exec.backend import make_backend
+    from repro.exec.campaign import CampaignAborted
+    from repro.exec.journal import CampaignJournal, JournalError, load_journal
     from repro.obs.flight import FlightRecorder, dump_postmortem
     from repro.obs.report import observe, write_campaign_manifest
     from repro.obs.spans import SpanProfiler
     from repro.obs.trace import TraceBus
 
+    resume_state = None
+    journal_path = args.journal
+    if args.resume:
+        if args.no_cache:
+            print("error: --resume replays the result cache; drop --no-cache", file=sys.stderr)
+            return 2
+        try:
+            resume_state = load_journal(args.resume)
+        except JournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        journal_path = args.resume  # keep appending to the same history
+        # The journal's recorded arguments are the defaults; anything
+        # given explicitly on this command line wins over the record.
+        if not args.experiments and resume_state.names:
+            names = [name for name in resume_state.names if name in REGISTRY]
+        args.fast = args.fast or resume_state.fast
+        if args.cache_dir is None and resume_state.cache_dir:
+            args.cache_dir = resume_state.cache_dir
+        if args.backend is None and resume_state.backend:
+            args.backend = resume_state.backend
+        print(resume_state.summary_line())
+
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = _make_cache(args)
+    backend = make_backend(args.backend, jobs=jobs)
+    journal = None
+    if journal_path:
+        journal = CampaignJournal(journal_path)
+        if resume_state is not None:
+            journal.resume(resume_state.completed_shards, resume_state.planned_shards)
+        else:
+            from repro.exec.cache import default_code_version
+
+            journal.begin(
+                names,
+                args.fast,
+                args.backend,
+                (args.cache_dir or DEFAULT_CACHE_DIR) if cache is not None else None,
+                default_code_version(),
+            )
     profiler = SpanProfiler() if args.spans is not None else None
     flight = FlightRecorder(TraceBus()) if args.flight is not None else None
     started = time.time()
@@ -387,7 +451,17 @@ def _run_campaign(names, args) -> int:
                     print_experiment(execution.name, execution.result),
                     print(),
                 ),
+                backend=backend,
+                journal=journal,
+                die_after=args.die_after,
             )
+    except CampaignAborted as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        if journal is not None:
+            print(
+                f"resume with: spider-repro campaign --resume {journal.path}", file=sys.stderr
+            )
+        return 3
     except Exception as exc:
         if flight is not None:
             crash_path = _flag_path(args.flight, "campaign-crash.json")
@@ -400,6 +474,11 @@ def _run_campaign(names, args) -> int:
             )
             print(f"flight recorder: post-mortem -> {crash_path}", file=sys.stderr)
         raise
+    finally:
+        if backend is not None:
+            backend.shutdown()
+        if journal is not None:
+            journal.close()
     manifest = campaign_manifest(campaign, fast=args.fast, started_at=started, spans=profiler)
     manifest_path = args.manifest or "campaign-manifest.json"
     write_campaign_manifest(manifest, manifest_path)
@@ -515,6 +594,34 @@ def main(argv: Optional[list] = None) -> int:
         "--no-cache", action="store_true", help="disable the shard-result cache"
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "shard placement: local[:N] | ssh:host[*slots],...[?heartbeat=S] |"
+            " queuedir:PATH[?workers=N] (default: local pool)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="campaign: append an execution journal (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="campaign: resume from a journal, skipping cached shards",
+    )
+    parser.add_argument(
+        "--die-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign: abort after N shard outcomes (fault injection for --resume tests)",
+    )
+    parser.add_argument(
         "--manifest",
         default=None,
         metavar="PATH",
@@ -566,6 +673,19 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.die_after is not None and args.die_after < 1:
+        parser.error("--die-after must be >= 1")
+    if args.backend is not None:
+        from repro.exec.backend import parse_backend_spec
+
+        try:
+            kind, _, _ = parse_backend_spec(args.backend)
+            if kind not in ("local", "ssh", "queuedir"):
+                raise ValueError(f"unknown backend kind {kind!r} (known: local, ssh, queuedir)")
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.command != "campaign" and (args.resume or args.journal or args.die_after):
+        parser.error("--resume/--journal/--die-after apply to the campaign command")
 
     if args.command == "list":
         for name, entry in REGISTRY.items():

@@ -85,6 +85,31 @@ def git_sha(short: bool = True) -> Optional[str]:
     return sha if proc.returncode == 0 and sha else None
 
 
+@functools.lru_cache(maxsize=None)
+def git_dirty() -> bool:
+    """True when the working tree has uncommitted changes.
+
+    The exec cache folds this into its code-version key so a dirty-tree
+    rerun can never collide with (or poison) results recorded for the
+    clean commit. Cached per process for the same reason as
+    :func:`git_sha`. Outside a git checkout, the tree counts as clean —
+    there is no SHA to collide with either.
+    """
+    root = Path(__file__).resolve().parents[3]
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return proc.returncode == 0 and bool(proc.stdout.strip())
+
+
 @dataclass
 class RunManifest:
     """Provenance of one experiment run."""

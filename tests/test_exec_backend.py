@@ -1,0 +1,487 @@
+"""Tests for ``repro.exec.backend``: the ABC contract and all three
+implementations, with emphasis on the failure paths the orchestrator's
+retry/degradation logic depends on.
+
+The SSH backend is exercised against ``localhost``, where the command
+prefix is empty and the "remote" worker is a plain subprocess speaking
+the same stdio RPC — no sshd involved.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import ExecPolicy, execute_shards
+from repro.exec.backend import (
+    BackendBroken,
+    HostSpec,
+    LocalPoolBackend,
+    QueueDirBackend,
+    RemoteShardError,
+    SubprocessSSHBackend,
+    WorkerTimeout,
+    make_backend,
+    parse_backend_spec,
+)
+from repro.exec.backend.base import SettableFuture, ShardRequest
+from repro.exec.backend.queue_worker import CLAIMED, PENDING, claim_one, drain, write_atomic
+from repro.exec.shards import Shard
+from repro.exec.workers import SOURCE_INLINE
+
+STUB = "tests.exec_stub"
+
+
+def quick_policy(**kwargs):
+    defaults = dict(jobs=2, backoff_base=0.0)
+    defaults.update(kwargs)
+    return ExecPolicy(**defaults)
+
+
+def request(key="s", **params):
+    return ShardRequest(
+        experiment="stub", module_name=STUB, func_name="shard_value", key=key, params=params
+    )
+
+
+def value_shards(n):
+    return [Shard(key=f"s{i}", params={"value": i}) for i in range(n)]
+
+
+# -- spec parsing / factory ----------------------------------------------
+
+
+class TestBackendSpec:
+    def test_parse_kinds(self):
+        assert parse_backend_spec("local") == ("local", "", {})
+        assert parse_backend_spec("local:4") == ("local", "4", {})
+        assert parse_backend_spec("ssh:a*2,b") == ("ssh", "a*2,b", {})
+        kind, arg, options = parse_backend_spec("queuedir:/tmp/q?workers=3&poll=0.1")
+        assert (kind, arg) == ("queuedir", "/tmp/q")
+        assert options == {"workers": "3", "poll": "0.1"}
+
+    def test_none_and_bare_local_mean_builtin_path(self):
+        assert make_backend(None, jobs=4) is None
+        assert make_backend("local", jobs=4) is None
+
+    def test_local_n_builds_pool(self):
+        backend = make_backend("local:2")
+        try:
+            assert isinstance(backend, LocalPoolBackend)
+            assert backend.capacity() == 2
+        finally:
+            backend.shutdown()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("slurm:cluster")
+
+    def test_unknown_option_rejected_before_construction(self):
+        with pytest.raises(ValueError, match="nope"):
+            make_backend("queuedir:/tmp/q?nope=1")
+
+    def test_ssh_spec_hosts_and_slots(self):
+        backend = make_backend("ssh:localhost*2?heartbeat=5&blacklist-after=2")
+        try:
+            assert isinstance(backend, SubprocessSSHBackend)
+            assert backend.capacity() == 2
+            assert backend.heartbeat_timeout == 5.0
+            assert backend.blacklist_after == 2
+        finally:
+            backend.shutdown()
+
+
+# -- the generic orchestrator over a scriptable fake ----------------------
+
+
+class _ScriptedFuture:
+    def __init__(self, outcome):
+        self.outcome = outcome
+
+    def result(self, timeout=None):
+        if isinstance(self.outcome, BaseException):
+            raise self.outcome
+        return {"result": self.outcome, "worker_seconds": 0.001, "worker": "fake/1"}
+
+
+class _ScriptedBackend:
+    """Backend whose submit() pops scripted outcomes per shard key."""
+
+    name = "fake"
+    bus = None
+
+    def __init__(self, script):
+        self.script = {key: list(outcomes) for key, outcomes in script.items()}
+        self.submits = []
+
+    def submit(self, req):
+        self.submits.append(req.key)
+        outcomes = self.script[req.key]
+        outcome = outcomes.pop(0) if len(outcomes) > 1 else outcomes[0]
+        if isinstance(outcome, BackendBroken):
+            raise outcome
+        return _ScriptedFuture(outcome)
+
+    def capacity(self):
+        return 2
+
+    def health(self):
+        return {"backend": self.name}
+
+    def shutdown(self, wait=False):
+        pass
+
+
+class TestOrchestratorOverABC:
+    def test_worker_timeout_resubmits_then_succeeds(self):
+        backend = _ScriptedBackend({"s0": [WorkerTimeout("worker died"), 42]})
+        outcomes = execute_shards(
+            STUB,
+            "shard_value",
+            [Shard(key="s0", params={"value": 42})],
+            quick_policy(max_retries=2),
+            backend=backend,
+        )
+        assert outcomes[0].result == 42
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].source == "fake"
+        assert backend.submits == ["s0", "s0"]
+
+    def test_backend_broken_mid_run_degrades_remaining_inline(self):
+        backend = _ScriptedBackend(
+            {"s0": [0], "s1": [BackendBroken("gone")], "s2": [BackendBroken("gone")]}
+        )
+        outcomes = execute_shards(
+            STUB, "shard_value", value_shards(3), quick_policy(max_retries=1), backend=backend
+        )
+        assert [o.result for o in outcomes] == [0, 1, 2]
+        assert outcomes[0].source == "fake"
+        assert [o.source for o in outcomes[1:]] == [SOURCE_INLINE] * 2
+
+    def test_retries_exhausted_gets_final_inline_attempt(self):
+        backend = _ScriptedBackend({"s0": [RemoteShardError("shard blew up")]})
+        outcomes = execute_shards(
+            STUB,
+            "shard_value",
+            [Shard(key="s0", params={"value": 7})],
+            quick_policy(max_retries=1),
+            backend=backend,
+        )
+        assert outcomes[0].result == 7
+        assert outcomes[0].source == SOURCE_INLINE
+        assert outcomes[0].attempts == 3  # 2 backend attempts + 1 inline
+
+    def test_zero_capacity_backend_is_bypassed(self):
+        backend = _ScriptedBackend({})
+        backend.capacity = lambda: 0
+        outcomes = execute_shards(
+            STUB, "shard_value", value_shards(2), quick_policy(), backend=backend
+        )
+        assert [o.source for o in outcomes] == [SOURCE_INLINE] * 2
+        assert backend.submits == []
+
+
+# -- LocalPoolBackend -----------------------------------------------------
+
+
+class TestLocalPoolBackend:
+    def test_abc_round_trip(self):
+        backend = LocalPoolBackend(max_workers=2)
+        try:
+            payload = backend.submit(request(value=5)).result(timeout=30)
+            assert payload["result"] == 5
+            assert payload["worker"] == "pool"
+            assert payload["worker_seconds"] > 0
+        finally:
+            backend.shutdown()
+
+    def test_pool_death_raises_backend_broken(self):
+        backend = LocalPoolBackend(max_workers=1)
+        try:
+            dead = ShardRequest(
+                experiment="stub",
+                module_name=STUB,
+                func_name="die_unless_parent",
+                key="die",
+                params={"parent_pid": 0},
+            )
+            with pytest.raises(BackendBroken):
+                backend.submit(dead).result(timeout=30)
+        finally:
+            backend.shutdown()
+
+    def test_explicit_pool_death_degrades_through_orchestrator(self):
+        backend = LocalPoolBackend(max_workers=2)
+        try:
+            shards = [
+                Shard(key=f"s{i}", params={"parent_pid": os.getpid(), "value": i})
+                for i in range(3)
+            ]
+            outcomes = execute_shards(
+                STUB,
+                "die_unless_parent",
+                shards,
+                quick_policy(max_retries=1),
+                backend=backend,
+            )
+            assert [o.result for o in outcomes] == [0, 1, 2]
+            assert all(o.source == SOURCE_INLINE for o in outcomes)
+        finally:
+            backend.shutdown()
+
+
+# -- SubprocessSSHBackend (localhost = plain subprocess) -------------------
+
+
+class TestSubprocessSSHBackend:
+    def backend(self, **kwargs):
+        defaults = dict(
+            hosts=[HostSpec("localhost", slots=2)],
+            heartbeat_timeout=10.0,
+            hb_interval=0.1,
+            blacklist_after=3,
+        )
+        defaults.update(kwargs)
+        return SubprocessSSHBackend(**defaults)
+
+    def test_round_trip_in_shard_order(self):
+        backend = self.backend()
+        try:
+            outcomes = execute_shards(
+                STUB,
+                "shard_value",
+                value_shards(4),
+                quick_policy(shard_timeout=60),
+                backend=backend,
+            )
+            assert [o.result for o in outcomes] == [0, 1, 2, 3]
+            assert all(o.source == "ssh" for o in outcomes)
+            assert all(o.worker.startswith("localhost/") for o in outcomes)
+        finally:
+            backend.shutdown()
+
+    def test_clean_shard_failure_does_not_count_against_host(self, tmp_path):
+        backend = self.backend()
+        try:
+            shard = Shard(
+                key="flaky", params={"counter_path": str(tmp_path / "c"), "fail_times": 1}
+            )
+            outcomes = execute_shards(
+                STUB,
+                "flaky",
+                [shard],
+                quick_policy(max_retries=2, shard_timeout=60),
+                backend=backend,
+            )
+            assert outcomes[0].result == 0
+            assert outcomes[0].attempts == 2
+            health = backend.health()
+            assert health["hosts"][0]["failures"] == 0
+            assert not health["hosts"][0]["blacklisted"]
+        finally:
+            backend.shutdown()
+
+    def test_worker_death_resubmits_and_counts_host_failure(self, tmp_path):
+        backend = self.backend()
+        try:
+            shard = Shard(
+                key="crash",
+                params={"counter_path": str(tmp_path / "c"), "parent_pid": os.getpid()},
+            )
+            outcomes = execute_shards(
+                STUB,
+                "die_first_attempt",
+                [shard],
+                quick_policy(max_retries=2, shard_timeout=60),
+                backend=backend,
+            )
+            assert outcomes[0].result == 0
+            assert outcomes[0].attempts >= 2
+            assert outcomes[0].source == "ssh"
+            assert backend.health()["hosts"][0]["failures"] >= 1
+        finally:
+            backend.shutdown()
+
+    def test_heartbeat_timeout_declares_wedged_worker_dead(self, tmp_path):
+        backend = self.backend(heartbeat_timeout=1.0)
+        try:
+            shard = Shard(
+                key="frozen",
+                params={"counter_path": str(tmp_path / "c"), "parent_pid": os.getpid()},
+            )
+            started = time.monotonic()
+            outcomes = execute_shards(
+                STUB,
+                "freeze_first_attempt",
+                [shard],
+                quick_policy(max_retries=2, shard_timeout=60),
+                backend=backend,
+            )
+            assert outcomes[0].result == 0
+            assert outcomes[0].attempts >= 2
+            # The watchdog fired on the heartbeat deadline, not on the
+            # 60 s caller timeout.
+            assert time.monotonic() - started < 30
+            assert backend.health()["hosts"][0]["failures"] >= 1
+        finally:
+            backend.shutdown()
+
+    def test_blacklist_after_repeated_failures_then_inline_degradation(self, tmp_path):
+        backend = self.backend(blacklist_after=2, hosts=[HostSpec("localhost", slots=1)])
+        try:
+            shards = [
+                Shard(key=f"s{i}", params={"parent_pid": os.getpid(), "value": i})
+                for i in range(3)
+            ]
+            outcomes = execute_shards(
+                STUB,
+                "die_unless_parent",
+                shards,
+                quick_policy(max_retries=3, shard_timeout=60),
+                backend=backend,
+            )
+            # Everything still completes — inline, once the only host is
+            # blacklisted and the backend declares itself broken.
+            assert [o.result for o in outcomes] == [0, 1, 2]
+            assert outcomes[-1].source == SOURCE_INLINE
+            health = backend.health()
+            assert health["hosts"][0]["blacklisted"]
+            assert health["capacity"] == 0
+        finally:
+            backend.shutdown()
+
+    def test_submit_after_blacklist_raises_backend_broken(self):
+        backend = self.backend(blacklist_after=1, hosts=[HostSpec("localhost", slots=1)])
+        try:
+            dead = ShardRequest(
+                experiment="stub",
+                module_name=STUB,
+                func_name="die_unless_parent",
+                key="die",
+                params={"parent_pid": 0},
+            )
+            with pytest.raises((WorkerTimeout, BackendBroken)):
+                backend.submit(dead).result(timeout=30)
+            with pytest.raises(BackendBroken):
+                backend.submit(request())
+        finally:
+            backend.shutdown()
+
+
+# -- QueueDirBackend ------------------------------------------------------
+
+
+class TestQueueDirBackend:
+    def test_round_trip_with_spawned_workers(self, tmp_path):
+        backend = QueueDirBackend(tmp_path / "spool", workers=2)
+        try:
+            outcomes = execute_shards(
+                STUB,
+                "shard_value",
+                value_shards(4),
+                quick_policy(shard_timeout=60),
+                backend=backend,
+            )
+            assert [o.result for o in outcomes] == [0, 1, 2, 3]
+            assert all(o.source == "queue" for o in outcomes)
+            assert all(o.worker.startswith("queue-worker/") for o in outcomes)
+        finally:
+            backend.shutdown()
+
+    def test_external_worker_drains_spool(self, tmp_path):
+        spool = tmp_path / "spool"
+        backend = QueueDirBackend(spool, workers=0)
+        try:
+            future = backend.submit(request(value=9))
+            assert drain(spool, poll=0.01, max_tasks=1) == 1
+            assert future.result(timeout=5)["result"] == 9
+        finally:
+            backend.shutdown()
+
+    def test_claim_is_exactly_once(self, tmp_path):
+        spool = tmp_path / "spool"
+        for i in range(3):
+            write_atomic(spool / PENDING / f"t{i}.task", {"id": f"t{i}"})
+        claims = [claim_one(spool), claim_one(spool), claim_one(spool)]
+        assert claim_one(spool) is None
+        assert len({c.name for c in claims}) == 3
+        assert all(c.parent.name == CLAIMED for c in claims)
+
+    def test_failed_shard_raises_remote_error_with_traceback(self, tmp_path):
+        spool = tmp_path / "spool"
+        backend = QueueDirBackend(spool, workers=0)
+        try:
+            req = ShardRequest(
+                experiment="stub",
+                module_name=STUB,
+                func_name="flaky",
+                key="flaky",
+                params={"counter_path": str(tmp_path / "c"), "fail_times": 99},
+            )
+            future = backend.submit(req)
+            drain(spool, poll=0.01, max_tasks=1)
+            with pytest.raises(RemoteShardError, match="flaky") as info:
+                future.result(timeout=5)
+            assert "transient failure" in info.value.remote_traceback
+        finally:
+            backend.shutdown()
+
+    def test_workers_keep_dying_degrades_inline(self, tmp_path):
+        backend = QueueDirBackend(tmp_path / "spool", workers=1, poll_interval=0.01)
+        try:
+            shards = [
+                Shard(key=f"s{i}", params={"parent_pid": os.getpid(), "value": i})
+                for i in range(2)
+            ]
+            outcomes = execute_shards(
+                STUB,
+                "die_unless_parent",
+                shards,
+                quick_policy(max_retries=2, shard_timeout=60),
+                backend=backend,
+            )
+            assert [o.result for o in outcomes] == [0, 1]
+            assert all(o.source == SOURCE_INLINE for o in outcomes)
+        finally:
+            backend.shutdown()
+
+    def test_stop_marker_cleared_on_reuse(self, tmp_path):
+        spool = tmp_path / "spool"
+        first = QueueDirBackend(spool, workers=0)
+        first.shutdown()
+        assert (spool / "stop").exists()
+        second = QueueDirBackend(spool, workers=0)
+        try:
+            assert not (spool / "stop").exists()  # resume restarts service
+        finally:
+            second.shutdown()
+
+
+# -- SettableFuture -------------------------------------------------------
+
+
+class TestSettableFuture:
+    def test_timeout(self):
+        with pytest.raises(Exception):
+            SettableFuture().result(timeout=0.05)
+
+    def test_watchdog_runs_each_slice_and_may_fail_the_wait(self):
+        future = SettableFuture()
+        calls = []
+
+        def watchdog():
+            calls.append(1)
+            if len(calls) >= 3:
+                future.set_exception(WorkerTimeout("watchdog gave up"))
+
+        future._watchdog = watchdog
+        with pytest.raises(WorkerTimeout):
+            future.result(timeout=10)
+        assert len(calls) == 3
+
+    def test_first_exception_wins(self):
+        future = SettableFuture()
+        future.set_exception(WorkerTimeout("first"))
+        future.set_exception(WorkerTimeout("second"))
+        with pytest.raises(WorkerTimeout, match="first"):
+            future.result(timeout=1)
