@@ -16,7 +16,15 @@ Public surface:
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.core import RULES, Finding, ModuleUnit, Rule, Severity, register_rule
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    ModuleUnit,
+    RelatedLocation,
+    Rule,
+    Severity,
+    register_rule,
+)
 from repro.analysis.engine import LintRun, lint_paths, lint_units
 
 __all__ = [
@@ -26,6 +34,7 @@ __all__ = [
     "LintRun",
     "ModuleUnit",
     "RULES",
+    "RelatedLocation",
     "Rule",
     "Severity",
     "lint_paths",

@@ -14,6 +14,33 @@ import ast
 from typing import Dict, Optional
 
 
+def resolve_relative(
+    module: Optional[str], level: int, target: Optional[str], is_package: bool = False
+) -> Optional[str]:
+    """Absolute module named by a relative import statement.
+
+    ``module`` is the importing module's dotted path, ``level`` the
+    number of leading dots, ``target`` the module text after the dots
+    (``None`` for ``from . import x``). ``is_package`` marks
+    ``__init__.py`` files, whose first dot refers to the package
+    itself rather than its parent. Returns ``None`` when the import
+    escapes the top of the package (or ``module`` is unknown).
+    """
+    if module is None or level < 1:
+        return None
+    parts = module.split(".")
+    # In a plain module the trailing component is the module itself;
+    # one dot means "my package". In __init__.py the module *is* the
+    # package, so one dot strips nothing.
+    drop = level if not is_package else level - 1
+    if drop >= len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
 def dotted_name(node: ast.AST) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain; None for anything else."""
     parts = []
@@ -36,9 +63,20 @@ class ImportMap:
 
     Relative imports and ``import a.b`` (which only binds ``a``) resolve
     to their visible binding; ``from x import *`` is ignored.
+
+    When ``module_name`` is given (the importing module's own dotted
+    path), relative imports are resolved through
+    :func:`resolve_relative` as well — the per-file rules don't need
+    this (relative imports never reach the banned stdlib paths), but
+    the project graph layer does.
     """
 
-    def __init__(self, tree: ast.AST):
+    def __init__(
+        self,
+        tree: ast.AST,
+        module_name: Optional[str] = None,
+        is_package: bool = False,
+    ):
         self.aliases: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -49,8 +87,18 @@ class ImportMap:
                         head = alias.name.split(".")[0]
                         self.aliases[head] = head
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports never hit the banned stdlib paths
+                if node.level:
+                    base = resolve_relative(module_name, node.level, node.module, is_package)
+                    if base is None:
+                        continue
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        local = alias.asname or alias.name
+                        self.aliases[local] = f"{base}.{alias.name}"
+                    continue
+                if node.module is None:
+                    continue
                 for alias in node.names:
                     if alias.name == "*":
                         continue

@@ -1,0 +1,174 @@
+"""Incremental per-file fact cache: full-repo lint at changed-file cost.
+
+Per linted file the cache stores two independently keyed payloads:
+
+**facts** (keyed on content digest + facts schema version) — the
+cross-module facts of :mod:`repro.analysis.graph`. Facts depend only on
+the file itself, so they survive any change elsewhere in the repo,
+including rule upgrades.
+
+**module-scope findings** (keyed on content digest + the *ruleset
+digest*) — the raw output of every module-scope rule for that file,
+recorded before suppression/baseline routing (routing is cheap and
+depends on run flags, so it always re-runs). The ruleset digest folds
+in every registered rule's id and version, the resolved
+:class:`~repro.analysis.config.LintConfig`, and the content digest of
+the taxonomy module — the one cross-file input a module-scope rule
+(SL004) reads — so a changed rule, config edit, or taxonomy edit
+invalidates findings repo-wide while leaving the facts intact.
+
+Project-scope rules are never cached: they re-run every time over the
+(warm) facts, which is what makes ``--changed`` safe — the project
+graph is always complete even when only one file is re-parsed.
+
+The cache file is JSON, written atomically (tmp + rename) so a killed
+run can never leave a torn cache; an unreadable or version-skewed cache
+is silently treated as cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import RULES, Finding
+from repro.analysis.graph import SCHEMA_VERSION, ModuleFacts
+
+_CACHE_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_digest(config_repr: str, taxonomy_digest: str) -> str:
+    """Digest of everything (besides the file itself) that can change a
+    module-scope rule's output."""
+    material = "\n".join(
+        [
+            f"cache:{_CACHE_VERSION}",
+            f"facts:{SCHEMA_VERSION}",
+            ",".join(f"{key}:{rule.version}" for key, rule in sorted(RULES.items())),
+            config_repr,
+            f"taxonomy:{taxonomy_digest}",
+        ]
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    digest: str
+    facts: Optional[Dict] = None  # ModuleFacts.to_dict(), or None for parse errors
+    findings_key: Optional[str] = None  # ruleset digest the findings were produced under
+    findings: Optional[List[Dict]] = None
+
+
+class FactsCache:
+    """Path-keyed store of :class:`CacheEntry`; see the module docstring."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, CacheEntry] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(data, dict) or data.get("version") != _CACHE_VERSION:
+            return
+        for path, raw in data.get("entries", {}).items():
+            try:
+                self._entries[path] = CacheEntry(
+                    digest=raw["digest"],
+                    facts=raw.get("facts"),
+                    findings_key=raw.get("findings_key"),
+                    findings=raw.get("findings"),
+                )
+            except (KeyError, TypeError):
+                continue
+
+    # -- lookups ---------------------------------------------------------
+
+    def facts_for(self, path: str, digest: str) -> Optional[ModuleFacts]:
+        entry = self._entries.get(path)
+        if entry is None or entry.digest != digest or entry.facts is None:
+            return None
+        try:
+            return ModuleFacts.from_dict(entry.facts)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def findings_for(
+        self, path: str, digest: str, ruleset: str
+    ) -> Optional[List[Finding]]:
+        entry = self._entries.get(path)
+        if (
+            entry is None
+            or entry.digest != digest
+            or entry.findings_key != ruleset
+            or entry.findings is None
+        ):
+            return None
+        try:
+            return [Finding.from_dict(raw) for raw in entry.findings]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- updates ---------------------------------------------------------
+
+    def store(
+        self,
+        path: str,
+        digest: str,
+        ruleset: str,
+        facts: Optional[ModuleFacts],
+        findings: Sequence[Finding],
+    ) -> None:
+        self._entries[path] = CacheEntry(
+            digest=digest,
+            facts=facts.to_dict() if facts is not None else None,
+            findings_key=ruleset,
+            findings=[finding.to_dict() for finding in findings],
+        )
+        self._dirty = True
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the lint set."""
+        wanted = set(keep)
+        stale = [path for path in self._entries if path not in wanted]
+        for path in stale:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "entries": {
+                path: {
+                    "digest": entry.digest,
+                    "facts": entry.facts,
+                    "findings_key": entry.findings_key,
+                    "findings": entry.findings,
+                }
+                for path, entry in sorted(self._entries.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+        self._dirty = False

@@ -1,22 +1,34 @@
 """``spider-repro lint``: the command-line face of simlint.
 
-Exit codes follow lint-tool convention: 0 clean (possibly via the
-baseline), 1 actionable findings, 2 usage or configuration errors —
-so CI can gate on it directly.
+Exit codes follow lint-tool convention, pinned by tests:
+
+- **0** — clean (possibly via suppressions or the baseline);
+- **1** — actionable findings, or stale baseline entries under
+  ``--strict-baseline``;
+- **2** — usage or configuration error: unknown ``[tool.simlint]``
+  keys, a nonexistent path, an explicit ``--baseline`` that does not
+  exist, an unreadable baseline, an unknown rule selector, zero Python
+  files collected, or ``--changed`` outside a working git checkout.
+
+CI can gate on the code directly; ``--sarif`` additionally writes a
+SARIF 2.1.0 log for code-scanning upload.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import FactsCache
 from repro.analysis.config import LintConfig, find_pyproject, load_config
 from repro.analysis.core import RULES
-from repro.analysis.engine import LintRun, lint_paths, load_plugins
+from repro.analysis.engine import LintRun, iter_python_files, lint_paths, load_plugins
+from repro.analysis.sarif import to_sarif
 
 
 def _split_rules(values: List[str]) -> List[str]:
@@ -35,7 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", help="files or directories to lint (default: src/ at the repo root)"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format", choices=("text", "json", "sarif"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF 2.1.0 log to PATH (for code-scanning upload)",
     )
     parser.add_argument(
         "--baseline",
@@ -50,6 +68,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (exit 1) when the baseline holds entries nothing matched",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report findings only in files changed since the merge-base with REF "
+        "(default: uncommitted changes); the whole tree is still analysed so "
+        "project-scope rules see the full graph",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="facts-cache location (default: [tool.simlint] cache-path under the repo root)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the incremental facts cache"
     )
     parser.add_argument(
         "--select",
@@ -69,7 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report_text(run: LintRun, stale_shown: int = 5) -> None:
+def _git(root: Path, *args: str) -> str:
+    proc = subprocess.run(
+        ["git", "-C", str(root), *args], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"git {' '.join(args)} failed"
+        raise RuntimeError(detail)
+    return proc.stdout
+
+
+def changed_files(root: Path, ref: str) -> Set[Path]:
+    """Absolute paths of files changed relative to ``ref``.
+
+    ``ref == "HEAD"`` means the working tree's uncommitted changes;
+    any other ref diffs against ``merge-base(HEAD, ref)`` — the
+    changed-on-this-branch set, unpolluted by commits that landed on
+    ``ref`` since the branch point. Untracked files always count.
+    """
+    toplevel = Path(_git(root, "rev-parse", "--show-toplevel").strip())
+    base = ref if ref == "HEAD" else _git(root, "merge-base", "HEAD", ref).strip()
+    names = _git(root, "diff", "--name-only", base, "--").splitlines()
+    names += _git(root, "ls-files", "--others", "--exclude-standard").splitlines()
+    return {(toplevel / name).resolve() for name in names if name.strip()}
+
+
+def _report_text(run: LintRun, cache_used: bool, stale_shown: int = 5) -> None:
     for finding in run.findings:
         print(finding.format())
     parts = [
@@ -83,6 +150,8 @@ def _report_text(run: LintRun, stale_shown: int = 5) -> None:
         parts.append(f"{len(run.baselined)} baselined")
     if run.stale_baseline:
         parts.append(f"{len(run.stale_baseline)} stale baseline entries")
+    if cache_used:
+        parts.append(f"cache {run.cache_hits} hits / {run.cache_misses} misses")
     print(f"simlint: {', '.join(parts)}")
     for rule, path, _key in run.stale_baseline[:stale_shown]:
         print(f"  stale baseline entry: {rule} in {path} no longer matches"
@@ -101,6 +170,8 @@ def _report_json(run: LintRun) -> None:
                     "warnings": run.warnings,
                     "suppressed": len(run.suppressed),
                     "baselined": len(run.baselined),
+                    "cache_hits": run.cache_hits,
+                    "cache_misses": run.cache_misses,
                     "stale_baseline": [
                         {"rule": rule, "path": path, "key": key}
                         for rule, path, key in run.stale_baseline
@@ -139,8 +210,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         print(f"simlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+    if not iter_python_files(paths):
+        print("simlint: no Python files to lint under the given paths", file=sys.stderr)
+        return 2
+
+    changed: Optional[Set[Path]] = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(root, args.changed)
+        except (RuntimeError, OSError) as error:
+            print(f"simlint: --changed needs a git checkout: {error}", file=sys.stderr)
+            return 2
 
     baseline_path = Path(args.baseline) if args.baseline else root / config.baseline
+    if args.baseline and not args.write_baseline and not baseline_path.is_file():
+        print(f"simlint: baseline {baseline_path} does not exist", file=sys.stderr)
+        return 2
     baseline: Optional[Baseline] = None
     if not args.no_baseline and not args.write_baseline and baseline_path.is_file():
         try:
@@ -148,6 +233,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (ValueError, KeyError, json.JSONDecodeError) as error:
             print(f"simlint: bad baseline {baseline_path}: {error}", file=sys.stderr)
             return 2
+
+    cache: Optional[FactsCache] = None
+    if not args.no_cache:
+        cache_path = Path(args.cache) if args.cache else root / config.cache_path
+        cache = FactsCache(cache_path)
 
     try:
         run = lint_paths(
@@ -157,21 +247,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             select=_split_rules(args.select),
             ignore=_split_rules(args.ignore),
             root=root,
+            cache=cache,
         )
     except (KeyError, ImportError) as error:
         print(f"simlint: {error}", file=sys.stderr)
         return 2
+
+    if changed is not None:
+        run.findings = [
+            f for f in run.findings if (root / f.path).resolve() in changed
+        ]
 
     if args.write_baseline:
         count = Baseline.write(baseline_path, run.findings, run.sources)
         print(f"simlint: wrote {count} finding(s) to {baseline_path}")
         return 0
 
-    if args.format == "json":
+    if args.sarif:
+        sarif_path = Path(args.sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(json.dumps(to_sarif(run), indent=2), encoding="utf-8")
+
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(run), indent=2))
+    elif args.format == "json":
         _report_json(run)
     else:
-        _report_text(run)
-    return 1 if run.findings else 0
+        _report_text(run, cache_used=cache is not None)
+
+    if run.findings:
+        return 1
+    if args.strict_baseline and run.stale_baseline:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -41,6 +41,18 @@ DEFAULT_HOTPATH_PACKAGES: Tuple[str, ...] = (
     "repro.net",
 )
 
+#: Sim hot entry points (SL011): globs over fully qualified function
+#: names. Every function transitively reachable from one of these runs
+#: inside dispatched simulated time, so nondeterminism sources —
+#: wall clocks, the global RNG, env reads — are banned along the whole
+#: reachable subgraph, not just in the entry file.
+DEFAULT_HOT_ENTRYPOINTS: Tuple[str, ...] = (
+    "repro.sim.engine.Simulator.step",
+    "repro.sim.engine.Simulator.run",
+    "repro.phy.radio.Medium.broadcast",
+    "repro.drivers.*.on_*",
+)
+
 
 @dataclass
 class LintConfig:
@@ -68,6 +80,14 @@ class LintConfig:
     #: Dotted-module globs exempt from SL010 for non-placement reasons
     #: (e.g. shelling out to ``git`` for provenance).
     backend_allow: Tuple[str, ...] = ()
+    #: Architecture layers, lowest first (SL012). Empty disables the rule.
+    layers: Tuple[str, ...] = ()
+    #: Sanctioned cross-layer interfaces: ``"src-prefix -> dst-prefix"``.
+    layer_allow: Tuple[str, ...] = ()
+    #: Sim hot entry points for SL011 (globs over qualified names).
+    hot_entrypoints: Tuple[str, ...] = DEFAULT_HOT_ENTRYPOINTS
+    #: Facts-cache path, relative to the config root.
+    cache_path: str = ".spider-cache/simlint-cache.json"
     #: Default baseline path, relative to the config file's directory.
     baseline: str = "simlint-baseline.json"
     #: Plugin modules imported for their rule-registration side effect.
@@ -89,11 +109,51 @@ class LintConfig:
             module == prefix or module.startswith(prefix + ".") for prefix in self.sim_scope
         )
 
+    def fingerprint(self) -> str:
+        """Stable text of every policy knob; part of the facts-cache key
+        (``root`` is where the config lives, not what it says)."""
+        values = {
+            name: getattr(self, name)
+            for name in sorted(self.__dataclass_fields__)
+            if name != "root"
+        }
+        return repr(values)
+
 
 def _tuple(raw: object, what: str) -> Tuple[str, ...]:
     if not isinstance(raw, (list, tuple)) or not all(isinstance(item, str) for item in raw):
         raise ValueError(f"[tool.simlint] {what} must be a list of strings")
     return tuple(raw)
+
+
+def _string(raw: object, what: str) -> str:
+    if not isinstance(raw, str):
+        raise ValueError(f"[tool.simlint] {what} must be a string")
+    return raw
+
+
+#: TOML key -> (LintConfig attribute, coercion). The loader rejects any
+#: key outside this table: a typo'd key would otherwise silently fall
+#: back to the default and weaken the policy it meant to tighten.
+_KEYS = {
+    "sim-scope": ("sim_scope", _tuple),
+    "wallclock-allow": ("wallclock_allow", _tuple),
+    "taxonomy-module": ("taxonomy_module", _string),
+    "experiments-package": ("experiments_package", _string),
+    "registry-module": ("registry_module", _string),
+    "scenario-package": ("scenario_package", _string),
+    "hotpath-packages": ("hotpath_packages", _tuple),
+    "backend-package": ("backend_package", _string),
+    "backend-allow": ("backend_allow", _tuple),
+    "layers": ("layers", _tuple),
+    "layer-allow": ("layer_allow", _tuple),
+    "hot-entrypoints": ("hot_entrypoints", _tuple),
+    "cache-path": ("cache_path", _string),
+    "baseline": ("baseline", _string),
+    "plugins": ("plugins", _tuple),
+    "select": ("select", _tuple),
+    "ignore": ("ignore", _tuple),
+}
 
 
 def load_config(pyproject: Optional[Path]) -> LintConfig:
@@ -103,38 +163,24 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
         return config
     try:
         import tomllib
-    except ImportError:  # Python < 3.11
-        return config
+    except ImportError:  # Python 3.10: stdlib tomllib landed in 3.11
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return config
     with open(pyproject, "rb") as handle:
         data = tomllib.load(handle)
     table = data.get("tool", {}).get("simlint", {})
     config.root = pyproject.parent
-    if "sim-scope" in table:
-        config.sim_scope = _tuple(table["sim-scope"], "sim-scope")
-    if "wallclock-allow" in table:
-        config.wallclock_allow = _tuple(table["wallclock-allow"], "wallclock-allow")
-    if "taxonomy-module" in table:
-        config.taxonomy_module = str(table["taxonomy-module"])
-    if "experiments-package" in table:
-        config.experiments_package = str(table["experiments-package"])
-    if "registry-module" in table:
-        config.registry_module = str(table["registry-module"])
-    if "scenario-package" in table:
-        config.scenario_package = str(table["scenario-package"])
-    if "hotpath-packages" in table:
-        config.hotpath_packages = _tuple(table["hotpath-packages"], "hotpath-packages")
-    if "backend-package" in table:
-        config.backend_package = str(table["backend-package"])
-    if "backend-allow" in table:
-        config.backend_allow = _tuple(table["backend-allow"], "backend-allow")
-    if "baseline" in table:
-        config.baseline = str(table["baseline"])
-    if "plugins" in table:
-        config.plugins = _tuple(table["plugins"], "plugins")
-    if "select" in table:
-        config.select = _tuple(table["select"], "select")
-    if "ignore" in table:
-        config.ignore = _tuple(table["ignore"], "ignore")
+    unknown = sorted(key for key in table if key not in _KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown [tool.simlint] key(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_KEYS))})"
+        )
+    for key, value in table.items():
+        attribute, coerce = _KEYS[key]
+        setattr(config, attribute, coerce(value, key))
     return config
 
 

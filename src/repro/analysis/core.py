@@ -33,9 +33,12 @@ import ast
 import enum
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
 from repro.analysis.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.graph import ModuleFacts, ProjectGraph
 
 
 class Severity(enum.Enum):
@@ -44,6 +47,25 @@ class Severity(enum.Enum):
     ERROR = "error"
     WARNING = "warning"
     INFO = "info"
+
+
+@dataclass(frozen=True, order=True)
+class RelatedLocation:
+    """A secondary source location attached to a finding.
+
+    Interprocedural rules use these to carry evidence that lives away
+    from the primary location — SL011 attaches one per hop of the call
+    chain from the hot entry point to the offending call. They render
+    as indented continuation lines in the text report and as SARIF
+    ``relatedLocations``.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "message": self.message}
 
 
 @dataclass(frozen=True, order=True)
@@ -56,12 +78,21 @@ class Finding:
     rule: str
     severity: str
     message: str
+    #: Supporting locations (e.g. a call chain); excluded from ordering
+    #: and from baseline keys so chains can be re-rendered freely.
+    related: Tuple[RelatedLocation, ...] = field(default=(), compare=False)
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if not self.related:
+            return head
+        tail = "".join(
+            f"\n    {loc.path}:{loc.line}: {loc.message}" for loc in self.related
+        )
+        return head + tail
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -69,6 +100,25 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.related:
+            data["related"] = [loc.to_dict() for loc in self.related]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        related = tuple(
+            RelatedLocation(str(r["path"]), int(r["line"]), str(r["message"]))  # type: ignore[index]
+            for r in data.get("related", ())  # type: ignore[union-attr]
+        )
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            related=related,
+        )
 
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\- ]+|all)")
@@ -96,14 +146,24 @@ class ModuleUnit:
     parse_error: Optional[SyntaxError] = None
     line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
     file_suppressions: Set[str] = field(default_factory=set)
+    #: True once a parse was attempted (lazy units defer it until a
+    #: rule actually needs the tree — see :meth:`ensure_tree`).
+    parsed: bool = False
+    #: Pre-extracted cross-module facts (set by the engine; from the
+    #: facts cache on a warm run, from the AST otherwise).
+    facts: Optional["ModuleFacts"] = None
 
     @classmethod
-    def from_source(cls, path: str, source: str, module: Optional[str] = None) -> "ModuleUnit":
+    def from_source(
+        cls,
+        path: str,
+        source: str,
+        module: Optional[str] = None,
+        parse: bool = True,
+    ) -> "ModuleUnit":
         unit = cls(path=path, source=source, module=module)
-        try:
-            unit.tree = ast.parse(source, filename=path)
-        except SyntaxError as error:
-            unit.parse_error = error
+        if parse:
+            unit.ensure_tree()
         for lineno, text in enumerate(source.splitlines(), start=1):
             match = _SUPPRESS_RE.search(text)
             if match:
@@ -112,6 +172,20 @@ class ModuleUnit:
             if match:
                 unit.file_suppressions |= _parse_rule_list(match.group(1))
         return unit
+
+    def ensure_tree(self) -> Optional[ast.Module]:
+        """Parse on first use; cache-hit units skip the parse until then."""
+        if not self.parsed:
+            self.parsed = True
+            try:
+                self.tree = ast.parse(self.source, filename=self.path)
+            except SyntaxError as error:
+                self.parse_error = error
+        return self.tree
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.replace("\\", "/").endswith("__init__.py")
 
     def is_suppressed(self, finding: Finding) -> bool:
         rule = finding.rule.upper()
@@ -140,12 +214,26 @@ class ProjectContext:
     units: List[ModuleUnit] = field(default_factory=list)
     #: taxonomy constant name -> event-kind string (from the taxonomy module)
     taxonomy: Dict[str, str] = field(default_factory=dict)
+    _graph: Optional["ProjectGraph"] = field(default=None, repr=False)
 
     def unit_for_module(self, module: str) -> Optional[ModuleUnit]:
         for unit in self.units:
             if unit.module == module:
                 return unit
         return None
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """The project-wide import/symbol/call graph, built on first use.
+
+        Units carrying pre-extracted facts (warm cache) contribute them
+        directly; everything else is parsed and extracted here.
+        """
+        if self._graph is None:
+            from repro.analysis.graph import build_graph
+
+            self._graph = build_graph(self.units)
+        return self._graph
 
 
 class Rule:
@@ -161,6 +249,9 @@ class Rule:
     severity: Severity = Severity.ERROR
     description: str = ""
     scope: str = "module"
+    #: Bumped when the rule's semantics change; part of the facts-cache
+    #: key, so stale cached findings can never survive a rule upgrade.
+    version: int = 1
 
     def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -169,7 +260,12 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, unit_path: str, node_or_line, message: str, col: Optional[int] = None
+        self,
+        unit_path: str,
+        node_or_line,
+        message: str,
+        col: Optional[int] = None,
+        related: Iterable[RelatedLocation] = (),
     ) -> Finding:
         if isinstance(node_or_line, int):
             line, column = node_or_line, 0 if col is None else col
@@ -183,6 +279,7 @@ class Rule:
             rule=self.id,
             severity=self.severity.value,
             message=message,
+            related=tuple(related),
         )
 
 

@@ -1,6 +1,6 @@
 """Built-in simlint rules.
 
-Importing this package registers SL001–SL010 with the rule registry in
+Importing this package registers SL001–SL014 with the rule registry in
 :mod:`repro.analysis.core`; third-party rules register identically from
 modules listed under ``[tool.simlint] plugins``.
 """
@@ -9,10 +9,22 @@ from repro.analysis.rules import (
     boundary,
     determinism,
     guards,
+    layers,
     phy,
     protocol,
+    taint,
     taxonomy,
     worldbuild,
 )
 
-__all__ = ["boundary", "determinism", "guards", "phy", "protocol", "taxonomy", "worldbuild"]
+__all__ = [
+    "boundary",
+    "determinism",
+    "guards",
+    "layers",
+    "phy",
+    "protocol",
+    "taint",
+    "taxonomy",
+    "worldbuild",
+]

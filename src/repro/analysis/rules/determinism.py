@@ -20,7 +20,9 @@ from repro.analysis.core import Finding, ModuleUnit, ProjectContext, Rule, Sever
 #: helpers.
 _RANDOM_ALLOWED = {"Random", "SystemRandom"}
 
-_WALLCLOCK_BANNED = {
+#: Shared with SL011 (interprocedural taint), which bans the same
+#: sources when they are merely *reachable* from a sim hot path.
+WALLCLOCK_BANNED = {
     "time.time",
     "time.time_ns",
     "time.monotonic",
@@ -107,7 +109,7 @@ class NoWallclockInSim(Rule):
             if not isinstance(node, ast.Call):
                 continue
             resolved = imports.resolve(dotted_name(node.func))
-            if resolved in _WALLCLOCK_BANNED:
+            if resolved in WALLCLOCK_BANNED:
                 yield self.finding(
                     unit.path,
                     node,

@@ -1,0 +1,95 @@
+"""SL012: the architecture DAG is declared in config and machine-checked.
+
+The stack is layered — ``sim`` at the bottom, then ``world``, ``phy``,
+``mac``, ``net``, ``drivers``, ``scenario``, ``experiments``, ``exec``
+at the top — and the layering is what keeps the determinism argument
+auditable: a lower layer importing a higher one (a *back-edge*) lets
+harness concerns leak into simulated time, where the per-file rules
+can't see them. Until now the DAG lived in DESIGN.md prose; this rule
+moves it into ``[tool.simlint] layers`` (an ordered list, lowest layer
+first) and flags every module-level back-edge import.
+
+Two escape hatches, both deliberate and visible in config rather than
+inline:
+
+- **Function-local imports are exempt.** The repo's sanctioned idiom
+  for a genuine upward reference is a lazy import inside the function
+  that needs it (e.g. ``repro.exec.campaign`` importing the runner);
+  it cannot create an import cycle at module load and is greppable.
+- **``layer-allow``** lists sanctioned interface edges as
+  ``"src-prefix -> dst-prefix"`` pairs — e.g. the experiment modules
+  importing the shard *vocabulary* (``repro.exec.shards``) that their
+  protocol functions are defined in terms of.
+
+Modules outside every declared layer are unconstrained; with no
+``layers`` configured the rule is inert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.core import Finding, ProjectContext, Rule, Severity, register_rule
+
+
+def _layer_index(module: str, layers: Tuple[str, ...]) -> Optional[int]:
+    for index, prefix in enumerate(layers):
+        if module == prefix or module.startswith(prefix + "."):
+            return index
+    return None
+
+
+def _parse_allow(raw: Tuple[str, ...]) -> Tuple[Tuple[str, str], ...]:
+    pairs = []
+    for entry in raw:
+        src, sep, dst = entry.partition("->")
+        if sep:
+            pairs.append((src.strip(), dst.strip()))
+    return tuple(pairs)
+
+
+def _matches(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@register_rule
+class LayerBoundary(Rule):
+    """SL012: no module-level imports against the declared layer order."""
+
+    id = "SL012"
+    name = "layer-boundary"
+    severity = Severity.ERROR
+    description = "module-level imports must respect the configured layer DAG"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        layers = project.config.layers
+        if not layers:
+            return
+        allow = _parse_allow(project.config.layer_allow)
+        graph = project.graph
+        for module in sorted(graph.import_graph):
+            source_index = _layer_index(module, layers)
+            if source_index is None:
+                continue
+            facts = graph.modules[module]
+            for edge in graph.import_graph[module]:
+                if not edge.toplevel:
+                    continue  # lazy imports are the sanctioned back-reference idiom
+                target_index = _layer_index(edge.target, layers)
+                if target_index is None or target_index <= source_index:
+                    continue
+                if any(
+                    _matches(module, src) and _matches(edge.target, dst)
+                    for src, dst in allow
+                ):
+                    continue
+                yield self.finding(
+                    facts.path,
+                    edge.line,
+                    f"layer back-edge: {module} (layer '{layers[source_index]}') "
+                    f"imports {edge.target} (higher layer '{layers[target_index]}') "
+                    "at module level — move the dependency down, import lazily "
+                    "inside the needing function, or declare a sanctioned "
+                    "interface in [tool.simlint] layer-allow",
+                )

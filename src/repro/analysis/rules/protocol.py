@@ -146,7 +146,7 @@ class ExperimentRegistry(Rule):
             for u in project.units
             if u.in_package((config.experiments_package,)) and u.module is not None
         ]
-        if registry_unit is None or registry_unit.tree is None:
+        if registry_unit is None or registry_unit.ensure_tree() is None:
             return  # registry not part of this lint run (e.g. single-file invocation)
 
         registry = self._find_registry(registry_unit.tree)
@@ -250,3 +250,96 @@ class ExperimentRegistry(Rule):
                 else:
                     out[key.value] = value
         return out
+
+
+#: Callables whose arguments cross the worker-process boundary: the
+#: backend submit method plus the payload containers handed to it.
+#: Matched on the *resolved* target when resolution succeeds, and on
+#: the raw trailing name otherwise (a ``backend.submit(...)`` receiver
+#: is rarely resolvable statically).
+_PAYLOAD_TARGETS = (
+    "repro.exec.shards.Shard",
+    "repro.exec.backend.base.ShardRequest",
+)
+_PAYLOAD_RAW_SUFFIXES = ("submit", "Shard", "ShardRequest")
+
+
+@register_rule
+class ShardPayloadPicklable(Rule):
+    """SL014: shard payloads must be import-addressable.
+
+    Everything submitted to an :class:`ExecutionBackend` is pickled
+    into a worker process, and pickle serialises functions and classes
+    *by qualified name*: a lambda, a closure, or a class defined inside
+    a function has no importable name, so the payload either crashes
+    the worker (``AttributeError: <locals>``) or — worse, with
+    ``dill``-style fallbacks — silently captures ambient state that
+    differs between processes, breaking byte-identity. The per-file
+    SL005 checks the protocol *functions*; this rule checks the
+    *values*: at every ``Shard(...)``/``ShardRequest(...)``
+    construction and every ``*.submit(...)`` call it flags lambdas,
+    references to function-local defs/classes, and — through the
+    project symbol table — references that resolve to a module-level
+    ``name = lambda ...`` in another module (importable, but still
+    unpicklable by qualname).
+    """
+
+    id = "SL014"
+    name = "shard-payload-picklable"
+    severity = Severity.ERROR
+    description = "no lambdas/closures/local classes across the submit boundary"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            facts = graph.modules[node.module]
+            local = set(node.local_callables)
+            for call in node.calls:
+                if not self._is_payload_call(call):
+                    continue
+                boundary = call.site.callee
+                for line in call.site.lambda_lines:
+                    yield self.finding(
+                        node.path,
+                        line,
+                        f"lambda crosses the {boundary}(...) boundary in {qualname} — "
+                        "pass a module-level function (workers import it by name)",
+                    )
+                for ref in call.site.arg_refs:
+                    message = self._bad_ref(ref, facts, local, graph)
+                    if message is not None:
+                        yield self.finding(
+                            node.path,
+                            call.site.line,
+                            f"{message} crosses the {boundary}(...) boundary in "
+                            f"{qualname} — pass a module-level function "
+                            "(workers import it by name)",
+                            col=call.site.col,
+                        )
+
+    @staticmethod
+    def _is_payload_call(call) -> bool:
+        if call.target is not None and call.target.startswith(_PAYLOAD_TARGETS):
+            return True
+        last = call.site.callee.rsplit(".", 1)[-1]
+        return last in _PAYLOAD_RAW_SUFFIXES
+
+    @staticmethod
+    def _bad_ref(ref: str, facts, local: set, graph) -> Optional[str]:
+        head, _, rest = ref.partition(".")
+        if not rest and head in local:
+            return f"function-local callable {head!r} (a closure or local class)"
+        dotted: Optional[str] = None
+        if not rest and head in facts.lambda_assigns:
+            dotted = f"{facts.module}.{head}" if facts.module else None
+            if dotted is None:
+                return f"module-level lambda {head!r}"
+        else:
+            expanded = facts.aliases.get(head)
+            if expanded is not None:
+                dotted = f"{expanded}.{rest}" if rest else expanded
+        if dotted is not None and graph.symbols.get(dotted, ("",))[0] == "lambda":
+            return f"{dotted!r}, a module-level lambda (unpicklable by qualname)"
+        return None

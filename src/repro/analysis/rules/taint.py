@@ -1,0 +1,128 @@
+"""SL011: determinism taint — nondeterminism reachable from sim hot paths.
+
+SL001/SL002 catch a *direct* ``random.random()`` or ``time.time()`` in
+sim-scope code. They cannot catch the interprocedural version: a hot
+function calls a helper in another module, and the helper — perhaps
+itself sitting outside sim scope — reads the wall clock. The run is
+just as host-coupled, but no single file shows it.
+
+This rule walks the project call graph instead. Starting from the
+configured *hot entry points* (``[tool.simlint] hot-entrypoints``,
+globs over fully qualified function names — by default the simulator's
+event dispatch, the PHY medium's delivery path, and driver callbacks),
+it computes the set of transitively reachable functions and flags every
+reachable call to a nondeterminism source: wall clocks, the global RNG,
+``os.urandom``, UUID generation, and environment reads. Each finding
+carries the full call chain from the entry point as related locations,
+so the report explains *why* a function is hot.
+
+The call graph is a conservative under-approximation (see
+:mod:`repro.analysis.graph`): dynamic dispatch — event callbacks,
+duck-typed receivers — is not followed, so a clean SL011 run is
+evidence, not proof. But every chain it does report is real.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    Finding,
+    ProjectContext,
+    RelatedLocation,
+    Rule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.rules.determinism import _RANDOM_ALLOWED, WALLCLOCK_BANNED
+
+#: Exact external names that make a hot function nondeterministic.
+TAINT_SOURCES = WALLCLOCK_BANNED | {
+    "os.urandom",
+    "os.getrandom",
+    "os.getenv",
+    "os.getenvb",
+    "os.environ",  # pseudo-site recorded for subscript reads
+    "os.environ.get",
+    "os.environ.setdefault",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: External name prefixes that are nondeterministic wholesale.
+TAINT_PREFIXES = ("secrets.",)
+
+
+def _hop_names(chain, graph) -> List[str]:
+    """Qualified names of each hop target (resolved, not raw text)."""
+    names: List[str] = []
+    for caller, site in chain:
+        for call in graph.functions[caller].calls:
+            if call.site is site and call.target is not None:
+                names.append(call.target)
+                break
+        else:
+            names.append(site.callee)
+    return names
+
+
+def _is_taint_source(external: str) -> bool:
+    if external in TAINT_SOURCES:
+        return True
+    if external.startswith(TAINT_PREFIXES):
+        return True
+    if external.startswith("random."):
+        attr = external[len("random."):]
+        return "." not in attr and attr not in _RANDOM_ALLOWED
+    return False
+
+
+@register_rule
+class DeterminismTaint(Rule):
+    """SL011: hot-path-reachable wall-clock/RNG/env reads, with chains."""
+
+    id = "SL011"
+    name = "determinism-taint"
+    severity = Severity.ERROR
+    description = "nondeterminism sources reachable from sim hot entry points"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        entry_globs = project.config.hot_entrypoints
+        if not entry_globs:
+            return
+        graph = project.graph
+        entries = graph.entry_points(entry_globs)
+        if not entries:
+            return
+        parent = graph.reachable_from(entries)
+        for qualname in sorted(parent):
+            node = graph.functions[qualname]
+            for call in node.calls:
+                if call.external is None or not _is_taint_source(call.external):
+                    continue
+                chain = graph.call_chain(parent, qualname)
+                related: List[RelatedLocation] = []
+                for caller, site in chain:
+                    caller_node = graph.functions[caller]
+                    related.append(
+                        RelatedLocation(
+                            path=caller_node.path,
+                            line=site.line,
+                            message=f"{caller} calls {site.callee} here",
+                        )
+                    )
+                entry = chain[0][0] if chain else qualname
+                if chain:
+                    hops = " -> ".join([entry, *(t for t in _hop_names(chain, graph))])
+                    via = f" via {hops} -> {call.external}"
+                else:
+                    via = " (a hot entry point itself)"
+                yield self.finding(
+                    node.path,
+                    call.site.line,
+                    f"'{call.external}' is reachable from sim hot entry point "
+                    f"{entry}{via} — inject sim.now / a seeded stream instead",
+                    col=call.site.col,
+                    related=related,
+                )

@@ -1,11 +1,21 @@
-"""SL004: trace emissions must use the registered event taxonomy.
+"""SL004/SL013: trace emissions and the event taxonomy stay in sync.
 
 The ``repro.obs`` trace bus gives every event a dot-separated
 ``layer.event`` kind, declared once as module-level constants in
 ``repro.obs.trace``. Subscribers filter on those exact strings, so an
 emitter inventing a kind inline (``trace.emit("dhcp.sendd", ...)``)
-silently vanishes from every recorder and report. This rule pins each
-``trace.emit(...)`` call site to a registered constant.
+silently vanishes from every recorder and report. SL004 pins each
+``trace.emit(...)`` call site to a registered constant, one file at a
+time.
+
+SL013 is the project-scope complement: a two-way diff between the
+declared taxonomy and every emission in the tree. Direction one flags
+kinds that are emitted but undeclared (resolvable emissions whose
+value is missing from the taxonomy — in a full-tree run this overlaps
+SL004, but unlike SL004 it also works when emitters route kinds
+through their own local constants). Direction two flags taxonomy
+entries that no call site ever emits — dead vocabulary that
+subscribers may be filtering on and silently receiving nothing.
 """
 
 from __future__ import annotations
@@ -115,3 +125,78 @@ class TraceTaxonomy(Rule):
             "event kind must be a registered constant imported from "
             f"{taxonomy_module} (got an unresolvable expression)"
         )
+
+
+@register_rule
+class TaxonomyDrift(Rule):
+    """SL013: two-way diff between declared taxonomy and actual emissions."""
+
+    id = "SL013"
+    name = "taxonomy-drift"
+    severity = Severity.ERROR
+    description = "emitted-but-undeclared kinds; declared-but-never-emitted entries"
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        taxonomy_module = project.config.taxonomy_module
+        graph = project.graph
+        taxonomy_facts = graph.modules.get(taxonomy_module)
+        if taxonomy_facts is None:
+            return  # taxonomy module not part of this lint run
+        #: kind value -> (constant name, line in the taxonomy module)
+        declared: Dict[str, tuple] = {}
+        for name, (value, line) in taxonomy_facts.constants.items():
+            if "." in value:  # kinds are dot-separated layer.event strings
+                declared[value] = (name, line)
+
+        emitted: set = set()
+        undeclared = []  # (facts, site, value)
+        for module in sorted(graph.modules):
+            facts = graph.modules[module]
+            for site in facts.emits:
+                value = self._resolve_emit(facts, site, taxonomy_module, graph)
+                if value is None:
+                    continue  # unresolvable expressions are SL004's business
+                emitted.add(value)
+                if value not in declared:
+                    undeclared.append((facts, site, value))
+
+        for facts, site, value in undeclared:
+            yield self.finding(
+                facts.path,
+                site.line,
+                f"event kind {value!r} is emitted but not declared in "
+                f"{taxonomy_module} — add a layer.event constant there",
+                col=site.col,
+            )
+        for value in sorted(declared):
+            if value in emitted:
+                continue
+            name, line = declared[value]
+            yield self.finding(
+                taxonomy_facts.path,
+                line,
+                f"taxonomy entry {name} = {value!r} is never emitted anywhere "
+                "in the linted tree — remove it or wire up the emitter",
+            )
+
+    @staticmethod
+    def _resolve_emit(facts, site, taxonomy_module: str, graph) -> Optional[str]:
+        """The emitted kind's string value, when statically resolvable."""
+        if site.literal is not None:
+            return site.literal
+        if site.ref is None:
+            return None
+        head, _, rest = site.ref.partition(".")
+        expanded = facts.aliases.get(head)
+        if expanded is not None:
+            dotted = f"{expanded}.{rest}" if rest else expanded
+            if dotted.startswith(taxonomy_module + "."):
+                const = dotted[len(taxonomy_module) + 1:]
+                taxonomy_facts = graph.modules.get(taxonomy_module)
+                if taxonomy_facts is not None and const in taxonomy_facts.constants:
+                    return taxonomy_facts.constants[const][0]
+                return None  # unknown constant: SL004 flags it
+        if not rest and head in facts.constants:
+            return facts.constants[head][0]  # module-local constant
+        return None

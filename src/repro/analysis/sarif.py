@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export: simlint findings as a code-scanning interchange file.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest — GitHub's security tab renders each
+result inline on the PR diff, with the rule metadata as hover help.
+One :func:`to_sarif` call turns a :class:`~repro.analysis.engine.LintRun`
+into a single-run SARIF log:
+
+- every registered rule becomes a ``tool.driver.rules`` entry (id,
+  name, short description, default severity level), so results can
+  point at their rule by index;
+- every actionable finding becomes a ``result`` with a physical
+  location (1-based line/column, as SARIF requires — simlint columns
+  are 0-based internally);
+- a finding's related locations (e.g. the SL011 call chain) map to
+  SARIF ``relatedLocations``, each with its own message, so the
+  rendered result explains *why* the flagged line is reachable.
+
+Suppressed and baselined findings are deliberately absent: the SARIF
+file represents what the run would fail CI for, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.core import RULES, Finding, Severity
+from repro.analysis.engine import LintRun
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: simlint severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR.value: "error",
+    Severity.WARNING.value: "warning",
+    Severity.INFO.value: "note",
+}
+
+
+def _location(path: str, line: int, col: int = 0) -> Dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "%SRCROOT%"},
+            "region": {"startLine": max(line, 1), "startColumn": max(col, 0) + 1},
+        }
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    index = rule_index.get(finding.rule.upper())
+    if index is not None:
+        result["ruleIndex"] = index
+    if finding.related:
+        result["relatedLocations"] = [
+            {**_location(loc.path, loc.line), "message": {"text": loc.message}}
+            for loc in finding.related
+        ]
+    return result
+
+
+def to_sarif(run: LintRun, tool_version: str = "2.0") -> Dict[str, object]:
+    """The full SARIF log object for one lint run (JSON-serialisable)."""
+    ordered = sorted(RULES)
+    rule_index = {key: i for i, key in enumerate(ordered)}
+    rules: List[Dict[str, object]] = [
+        {
+            "id": RULES[key].id,
+            "name": RULES[key].name,
+            "shortDescription": {"text": RULES[key].description},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(RULES[key].severity.value, "warning")
+            },
+        }
+        for key in ordered
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_result(f, rule_index) for f in run.findings],
+            }
+        ],
+    }

@@ -1,0 +1,397 @@
+"""Incremental facts cache, --changed mode, SARIF export, and the
+CLI exit-code taxonomy (0 clean / 1 findings / 2 usage-config error,
+plus --strict-baseline)."""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import FactsCache, content_digest, ruleset_digest
+from repro.analysis.cli import main as cli_main
+from repro.analysis.config import LintConfig
+from repro.analysis.core import ModuleUnit
+from repro.analysis.engine import lint_units
+from repro.analysis.sarif import to_sarif
+
+
+def unit(source, path="mod.py", module=None):
+    return ModuleUnit.from_source(path, textwrap.dedent(source), module=module, parse=False)
+
+
+class TestFactsCache:
+    def lint_with_cache(self, tmp_path, source, config=None):
+        cache = FactsCache(tmp_path / "cache.json")
+        config = config or LintConfig(sim_scope=("pkg",))
+        run = lint_units(
+            [unit(source, path="pkg/m.py", module="pkg.m")], config, cache=cache
+        )
+        return run, cache
+
+    def test_cold_then_warm(self, tmp_path):
+        source = "import time\nt = time.time()\n"
+        cold, _ = self.lint_with_cache(tmp_path, source)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        warm, _ = self.lint_with_cache(tmp_path, source)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_content_change_invalidates(self, tmp_path):
+        self.lint_with_cache(tmp_path, "x = 1\n")
+        run, _ = self.lint_with_cache(tmp_path, "x = 2\n")
+        assert (run.cache_hits, run.cache_misses) == (0, 1)
+
+    def test_config_change_invalidates_findings(self, tmp_path):
+        source = "import time\nt = time.time()\n"
+        self.lint_with_cache(tmp_path, source)
+        run, _ = self.lint_with_cache(
+            tmp_path, source, config=LintConfig(sim_scope=("pkg", "other"))
+        )
+        assert run.cache_misses == 1
+
+    def test_warm_facts_survive_a_findings_invalidation(self, tmp_path):
+        source = "def helper():\n    pass\n"
+        self.lint_with_cache(tmp_path, source)
+        cache = FactsCache(tmp_path / "cache.json")
+        facts = cache.facts_for("pkg/m.py", content_digest(source))
+        assert facts is not None and facts.module_defs == ("helper",)
+        assert cache.findings_for("pkg/m.py", content_digest(source), "other-ruleset") is None
+
+    def test_parse_error_findings_cached(self, tmp_path):
+        source = "def broken(:\n"
+        cold, _ = self.lint_with_cache(tmp_path, source)
+        warm, _ = self.lint_with_cache(tmp_path, source)
+        assert warm.cache_hits == 1
+        assert [f.rule for f in warm.findings] == ["SL000"]
+
+    def test_corrupt_cache_file_treated_as_cold(self, tmp_path):
+        (tmp_path / "cache.json").write_text("{not json")
+        run, _ = self.lint_with_cache(tmp_path, "x = 1\n")
+        assert (run.cache_hits, run.cache_misses) == (0, 1)
+
+    def test_prune_drops_departed_files(self, tmp_path):
+        cache = FactsCache(tmp_path / "cache.json")
+        cache.store("a.py", "d1", "rs", None, [])
+        cache.store("b.py", "d2", "rs", None, [])
+        cache.prune(["a.py"])
+        cache.save()
+        reloaded = FactsCache(tmp_path / "cache.json")
+        assert reloaded.findings_for("a.py", "d1", "rs") == []
+        assert reloaded.findings_for("b.py", "d2", "rs") is None
+
+    def test_ruleset_digest_folds_taxonomy_digest(self):
+        assert ruleset_digest("cfg", "t1") != ruleset_digest("cfg", "t2")
+        assert ruleset_digest("cfg", "t1") == ruleset_digest("cfg", "t1")
+
+
+# -- miniature repo for CLI-level tests -------------------------------------
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\n"
+        'sim-scope = ["pkg"]\n'
+        'taxonomy-module = "pkg.trace"\n'
+        'experiments-package = "pkg.experiments"\n'
+        'registry-module = "pkg.experiments.runner"\n'
+    )
+    src = tmp_path / "src" / "pkg"
+    src.mkdir(parents=True)
+    (src / "__init__.py").write_text("")
+    (src / "clock.py").write_text("import time\nnow = time.time()\n")
+    (src / "clean.py").write_text("VALUE = 1\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCliCache:
+    def test_warm_run_reports_hits_and_same_exit(self, project, capsys):
+        assert cli_main([]) == 1
+        capsys.readouterr()
+        assert cli_main([]) == 1
+        out = capsys.readouterr().out
+        assert "cache 3 hits / 0 misses" in out
+        assert (project / ".spider-cache" / "simlint-cache.json").is_file()
+
+    def test_no_cache_flag_skips_cache_entirely(self, project, capsys):
+        assert cli_main(["--no-cache"]) == 1
+        assert not (project / ".spider-cache").exists()
+        assert "cache" not in capsys.readouterr().out
+
+    def test_edited_file_is_the_only_miss(self, project, capsys):
+        cli_main([])
+        (project / "src" / "pkg" / "clean.py").write_text("VALUE = 2\n")
+        capsys.readouterr()
+        cli_main([])
+        assert "cache 2 hits / 1 misses" in capsys.readouterr().out
+
+    def test_cache_path_flag_overrides(self, project):
+        assert cli_main(["--cache", "elsewhere/c.json"]) == 1
+        assert (project / "elsewhere" / "c.json").is_file()
+
+
+class TestChangedMode:
+    def git(self, cwd, *args):
+        subprocess.run(
+            ["git", "-C", str(cwd), *args], check=True, capture_output=True, text=True
+        )
+
+    def init_repo(self, project):
+        self.git(project, "init", "-q")
+        self.git(project, "config", "user.email", "t@example.com")
+        self.git(project, "config", "user.name", "t")
+        self.git(project, "add", "-A")
+        self.git(project, "commit", "-q", "-m", "seed")
+
+    def test_changed_reports_only_touched_files(self, project, capsys):
+        self.init_repo(project)
+        # Both files now violate SL002, but only shaper.py is new.
+        (project / "src" / "pkg" / "shaper.py").write_text(
+            "import time\nlater = time.time()\n"
+        )
+        assert cli_main(["--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "shaper.py" in out
+        assert "clock.py" not in out  # committed before the diff base
+
+    def test_changed_against_branch_merge_base(self, project, capsys):
+        self.init_repo(project)
+        self.git(project, "checkout", "-q", "-b", "feature")
+        (project / "src" / "pkg" / "shaper.py").write_text(
+            "import time\nlater = time.time()\n"
+        )
+        self.git(project, "add", "-A")
+        self.git(project, "commit", "-q", "-m", "add shaper")
+        assert cli_main(["--changed", "master", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "shaper.py" in out and "clock.py" not in out
+
+    def test_changed_with_clean_diff_exits_0(self, project, capsys):
+        self.init_repo(project)
+        assert cli_main(["--changed", "--no-cache"]) == 0
+
+    def test_changed_outside_git_exits_2(self, project, capsys):
+        assert cli_main(["--changed", "--no-cache"]) == 2
+        assert "git" in capsys.readouterr().err
+
+
+#: Trimmed-down JSON Schema for the SARIF 2.1.0 surface simlint emits;
+#: mirrors the required properties of the official schema so a shape
+#: regression fails here rather than at code-scanning upload time.
+_SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarif:
+    def sarif_for(self, *sources_modules, config=None, select=()):
+        units = [
+            ModuleUnit.from_source(path, textwrap.dedent(src), module=mod)
+            for src, path, mod in sources_modules
+        ]
+        run = lint_units(list(units), config or LintConfig(), select=select)
+        return to_sarif(run)
+
+    def taint_sarif(self):
+        return self.sarif_for(
+            (
+                "from pkg import helpers\n"
+                "class Simulator:\n"
+                "    def step(self):\n"
+                "        helpers.jitter()\n",
+                "pkg/engine.py",
+                "pkg.engine",
+            ),
+            ("import time\ndef jitter():\n    return time.time()\n",
+             "pkg/helpers.py", "pkg.helpers"),
+            config=LintConfig(
+                sim_scope=(), hot_entrypoints=("pkg.engine.Simulator.step",)
+            ),
+            select=["SL011"],
+        )
+
+    def test_log_matches_sarif_shape(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self.taint_sarif(), _SARIF_SCHEMA)
+
+    def test_rules_metadata_and_result_linkage(self):
+        log = self.taint_sarif()
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "SL011" in rule_ids and rule_ids == sorted(rule_ids)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "SL011"
+        assert result["level"] == "error"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "SL011"
+
+    def test_columns_are_one_based(self):
+        (result,) = self.taint_sarif()["runs"][0]["results"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_call_chain_becomes_related_locations(self):
+        (result,) = self.taint_sarif()["runs"][0]["results"]
+        (related,) = result["relatedLocations"]
+        uri = related["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "pkg/engine.py"
+        assert "jitter" in related["message"]["text"]
+
+    def test_severity_mapping_to_levels(self):
+        log = self.sarif_for(
+            ("s = {1, 2}\nfor x in s:\n    pass\n", "m.py", None),
+            select=["SL003"],
+        )
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "warning"  # SL003 is a warning rule
+
+    def test_cli_sarif_flag_writes_file(self, project, capsys):
+        assert cli_main(["--sarif", "out/lint.sarif", "--no-cache"]) == 1
+        log = json.loads((project / "out" / "lint.sarif").read_text())
+        assert log["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "SL002" for r in log["runs"][0]["results"]
+        )
+
+    def test_cli_format_sarif_stdout(self, project, capsys):
+        assert cli_main(["--format", "sarif", "--no-cache"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+
+
+class TestExitCodeTaxonomy:
+    def test_clean_tree_exit_0(self, project):
+        (project / "src" / "pkg" / "clock.py").write_text("now = 0.0\n")
+        assert cli_main(["--no-cache"]) == 0
+
+    def test_findings_exit_1(self, project):
+        assert cli_main(["--no-cache"]) == 1
+
+    def test_unknown_config_key_exit_2(self, project, capsys):
+        (project / "pyproject.toml").write_text(
+            "[tool.simlint]\nsim-scopes = [\"pkg\"]\n"
+        )
+        assert cli_main(["--no-cache"]) == 2
+        assert "sim-scopes" in capsys.readouterr().err
+
+    def test_no_python_files_exit_2(self, project, capsys):
+        empty = project / "empty"
+        empty.mkdir()
+        assert cli_main([str(empty), "--no-cache"]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_explicit_missing_baseline_exit_2(self, project, capsys):
+        assert cli_main(["--baseline", "nope.json", "--no-cache"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_rule_selector_exit_2(self, project):
+        assert cli_main(["--select", "SL999", "--no-cache"]) == 2
+
+    def test_stale_baseline_reported_but_exit_0(self, project, capsys):
+        (project / "src" / "pkg" / "clock.py").write_text("now = 0.0\n")
+        (project / "simlint-baseline.json").write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {"rule": "SL002", "path": "src/pkg/clock.py", "key": "0" * 16}
+            ],
+        }))
+        assert cli_main(["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale baseline entries" in out
+        assert "stale baseline entry: SL002" in out
+
+    def test_strict_baseline_turns_stale_into_exit_1(self, project, capsys):
+        (project / "src" / "pkg" / "clock.py").write_text("now = 0.0\n")
+        (project / "simlint-baseline.json").write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {"rule": "SL002", "path": "src/pkg/clock.py", "key": "0" * 16}
+            ],
+        }))
+        assert cli_main(["--no-cache", "--strict-baseline"]) == 1
+
+    def test_strict_baseline_with_consumed_entries_exit_0(self, project, capsys):
+        assert cli_main(["--write-baseline", "--no-cache"]) == 0
+        assert cli_main(["--no-cache", "--strict-baseline"]) == 0
