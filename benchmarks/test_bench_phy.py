@@ -14,13 +14,15 @@ any given sender most of the fleet is off-channel or out of range,
 which is exactly where a full-registry scan wastes its work.
 """
 
+import time
+
 import pytest
 
 from repro.mac import frames
 from repro.phy.channels import ORTHOGONAL_CHANNELS
 from repro.phy.propagation import PropagationModel
 from repro.phy.radio import Medium, Radio
-from repro.scenario.build import run_spec
+from repro.scenario.build import build, make_fleet, run_spec
 from repro.scenario.registry import scenario
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -30,6 +32,12 @@ from repro.world.mobility import StaticMobility
 #: Fleet sizes for the sweep. 8 ≈ the paper's lab, 32 ≈ the Amherst
 #: loop, 128 ≈ the dense-downtown regime the ROADMAP targets.
 RADIO_COUNTS = (8, 32, 128)
+
+#: City-scale sweep (DESIGN.md §6.2): the fleet grows 10× but the
+#: line geometry keeps each sender's *local* density constant, so with
+#: the spatial grid the per-frame cost must stay flat — a 10× jump is
+#: exactly the reintroduced-global-scan regression compare.py gates.
+CITY_RADIO_COUNTS = (1000, 10000)
 
 
 def _fleet(count, loss=0.0, seed=7):
@@ -117,6 +125,72 @@ def _unicast_arq(count, frame_count=1200):
     }
 
 
+def _city_fanout(count, frames_per_sender=400):
+    """The broadcast sweep at city scale, with per-frame cost reported.
+
+    Setup (registering `count` radios) happens outside the timed
+    region of interest conceptually, but `once()` times the whole
+    call — so the delivery loop dominates by sending 3×400 frames
+    against a one-off O(count) build.
+    """
+    setup_start = time.perf_counter()
+    sim, medium, radios = _fleet(count)
+    setup_s = time.perf_counter() - setup_start
+    delivered = [0]
+
+    def bump(_frame):
+        delivered[0] += 1
+
+    for radio in radios[3:]:
+        radio.on_receive = bump
+
+    def pump(sender, frame, remaining):
+        sender.transmit(frame)
+        if remaining:
+            sim.schedule(0.003, pump, sender, frame, remaining - 1)
+
+    for sender_index in range(3):
+        sender = radios[sender_index]
+        sim.schedule(0.0, pump, sender, frames.beacon(sender.name), frames_per_sender - 1)
+    deliver_start = time.perf_counter()
+    sim.run()
+    deliver_s = time.perf_counter() - deliver_start
+    sent = 3 * frames_per_sender
+    return {
+        "radios": count,
+        "frames_sent": sent,
+        "frames_delivered": delivered[0],
+        "setup_s": round(setup_s, 6),
+        "us_per_frame": round(deliver_s / sent * 1e6, 3),
+    }
+
+
+def _metro_core_step(window=1.0):
+    """One step window of the metro-core city: 10k+ APs, four regions.
+
+    The acceptance bar for the partitioned-medium tentpole: a 10k-AP
+    world must *build* fast and *advance* a benchmark window in
+    seconds, with the client fleet enrolled for edge handoff.
+    """
+    spec = scenario("metro-core", duration=window)
+    build_start = time.perf_counter()
+    world = build(spec)
+    build_s = time.perf_counter() - build_start
+    assert len(world.aps) >= 10000, f"metro-core shrank: {len(world.aps)} APs"
+    assert world.partitions is not None
+    make_fleet(world, spec)
+    step_start = time.perf_counter()
+    world.sim.run(until=window)
+    step_s = time.perf_counter() - step_start
+    return {
+        "aps": len(world.aps),
+        "window_s": window,
+        "build_s": round(build_s, 6),
+        "step_s": round(step_s, 6),
+        "handoffs": world.partitions.handoffs,
+    }
+
+
 def _dense_downtown_steps(duration=120.0):
     """Step the dense-downtown preset: the scenario the index exists for."""
     spec = scenario("dense-downtown", duration=duration, seed=3)
@@ -141,3 +215,15 @@ def test_bench_phy_unicast_arq(once, radios):
 def test_bench_phy_dense_downtown_steps(once):
     result = once(_dense_downtown_steps)
     assert result["throughput_KBps"] > 0.0
+
+
+@pytest.mark.parametrize("radios", CITY_RADIO_COUNTS)
+def test_bench_phy_city_fanout(once, radios):
+    result = once(_city_fanout, radios)
+    assert result["frames_delivered"] > 0
+
+
+def test_bench_phy_metro_core_step(once):
+    result = once(_metro_core_step)
+    assert result["aps"] >= 10000
+    assert result["step_s"] < 60.0  # "steps in seconds", with CI slack

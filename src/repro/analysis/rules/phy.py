@@ -1,18 +1,28 @@
-"""PHY hot-path rule: SL008 (no linear registry scans in delivery).
+"""PHY hot-path rules: SL008 and SL015 (no linear scans in delivery).
 
 The medium's delivery and lookup paths run once per frame; PR 5 made
 their cost independent of fleet size by replacing the historical
 "scan every registered radio" loops with per-channel and per-address
-indexes (see DESIGN.md §6). This rule keeps those scans from creeping
+indexes (see DESIGN.md §6). SL008 keeps those scans from creeping
 back: any iteration over the full radio registry (``self._radios``)
 inside a ``Medium`` method is O(#radios) per frame and must go through
 ``_by_channel`` / ``_by_address`` instead.
 
-Registry maintenance (``register`` / ``unregister`` / ``_retune``) and
-the metrics snapshot (``_metrics_source``, sampled at snapshot cadence,
-not per frame) are the only methods allowed to touch the registry
-wholesale — an explicit exemption here, not a baseline entry, so the
-policy is visible next to the rule.
+SL015 (``cross-partition-scan``) is the same argument one level up:
+with the spatial grid enabled (the default), even the *per-channel*
+index is a city-wide structure — iterating it per frame is O(channel
+population), which at metro scale is O(world). Delivery-path methods
+must gather candidates from the grid (``_grid`` / ``_mobile`` /
+``_local_cache``, DESIGN.md §6.2); ``_scan_entries`` — the scalar
+oracle the grid is proven digest-identical against, reachable only
+with ``spatial_index=False`` — is the single delivery method allowed
+to walk ``_by_channel``, by name.
+
+Registry maintenance (``register`` / ``unregister`` / ``_retune``),
+the metrics snapshot (``_metrics_source``, sampled at snapshot
+cadence, not per frame), and the ``radios_on_channel`` inspection
+helper are exempt in-rule — an explicit exemption here, not a
+baseline entry, so the policy is visible next to the rule.
 """
 
 from __future__ import annotations
@@ -95,4 +105,86 @@ class PhyHotPathScan(Rule):
                         "O(#radios) scan over self._radios in a Medium "
                         "delivery/lookup method — use the _by_channel / "
                         "_by_address indexes (DESIGN.md §6)",
+                    )
+
+
+#: Medium methods that may walk the per-channel global index: registry
+#: maintenance, the metrics snapshot, the inspection helper, and the
+#: scalar-oracle snapshot builder (the ``spatial_index=False`` path).
+_CHANNEL_EXEMPT_METHODS = _EXEMPT_METHODS | {"radios_on_channel", "_scan_entries"}
+
+
+def _is_channel_index(node: ast.AST) -> bool:
+    """True for ``self._by_channel`` and anything that reaches it.
+
+    Covers the attribute itself, subscripts of it
+    (``self._by_channel[c]``), ``.get(...)`` lookups, dict views, and
+    the builtin iteration wrappers — each hands back a channel-global
+    structure whose iteration is O(channel population).
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "_by_channel"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return True
+    if isinstance(node, ast.Subscript) and _is_channel_index(node.value):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in (_DICT_VIEWS | {"get"})
+            and _is_channel_index(func.value)
+        ):
+            return True
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ITER_WRAPPERS
+            and len(node.args) >= 1
+            and _is_channel_index(node.args[0])
+        ):
+            return True
+    return False
+
+
+@register_rule
+class CrossPartitionScan(Rule):
+    """SL015: delivery paths gather from the spatial grid, not _by_channel."""
+
+    id = "SL015"
+    name = "cross-partition-scan"
+    severity = Severity.ERROR
+    description = "per-channel global-index iteration in Medium delivery methods"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        assert unit.tree is not None
+        for klass in ast.walk(unit.tree):
+            if not isinstance(klass, ast.ClassDef) or klass.name != "Medium":
+                continue
+            for method in klass.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _CHANNEL_EXEMPT_METHODS:
+                    continue
+                yield from self._check_method(unit, method)
+
+    def _check_method(self, unit: ModuleUnit, method: ast.AST) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            sources = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sources.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                sources.extend(generator.iter for generator in node.generators)
+            for source in sources:
+                if _is_channel_index(source):
+                    yield self.finding(
+                        unit.path,
+                        source,
+                        "O(channel population) iteration over self._by_channel "
+                        "in a Medium delivery method — gather candidates from "
+                        "the spatial grid (_grid/_mobile/_local_cache, "
+                        "DESIGN.md §6.2); only _scan_entries (the scalar "
+                        "oracle) may walk the channel index",
                     )

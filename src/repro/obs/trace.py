@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
 # phy: the radio and the shared medium
 PHY_CHANNEL_SET = "phy.channel_set"  # radio, channel
 PHY_FRAME_DROP = "phy.frame_drop"  # channel, dst, reason ("loss"/"arq-exhausted"/"unreachable")
+PHY_PARTITION_HANDOFF = "phy.partition_handoff"  # radio, from_region, to_region
 
 # sched: Spider's channel scheduler
 SCHED_SLOT = "sched.slot"  # channel, dwell

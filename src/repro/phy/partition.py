@@ -1,0 +1,160 @@
+"""Partitioned mediums: independent broadcast domains per geographic region.
+
+A metro world is not one broadcast domain. Two radios twenty blocks
+apart can never exchange a frame, interfere, or even share useful
+index state — yet a single :class:`~repro.phy.radio.Medium` makes
+every membership change invalidate caches the whole city shares. This
+module splits the world into *regions*, each backed by its own
+``Medium`` (the isolation idiom of apnetsim's
+``wmediumd_multimedium.py``: one wmediumd instance per segment, nodes
+re-homed on crossing), so membership churn, busy maps, interference
+memos, and spatial grids stay region-local.
+
+:class:`MediumPartitions` is the facade the scenario layer wires up
+(construction of the ``Medium`` instances themselves stays in
+``repro.scenario.build`` — the worldbuild rule SL007 owns that). It
+maps positions to regions, and *manages* mobile radios: a periodic
+poll compares each managed radio's current position against its
+current home and hands it off — ``unregister`` from the old medium,
+``register`` with the new — when it crosses a region edge.
+
+Determinism contract:
+
+- Regions are matched in declaration order; the first region whose
+  half-open bbox (``x_min <= x < x_max``, same for y) contains the
+  point wins, with the default medium as fallback. Declaration order
+  is spec order, so region overlap resolves identically everywhere.
+- Managed radios are polled in enrollment order on a fixed period, so
+  the sequence of (unregister, register) pairs — and hence ``reg_seq``
+  assignment in the receiving medium — is a pure function of spec +
+  seed.
+- Each region's medium draws loss from its own named RNG stream
+  (``phy:<region>``), so adding a region never perturbs another
+  region's draw sequence.
+
+Handoff is heavier than a retune (the radio re-registers, re-pins,
+and re-enters the spatial grid) but happens at region-crossing rate —
+once per minutes of simulated driving — not at frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import trace as tr
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named axis-aligned region of the world (half-open bbox)."""
+
+    name: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def contains(self, point: Any) -> bool:
+        return (
+            self.x_min <= point.x < self.x_max
+            and self.y_min <= point.y < self.y_max
+        )
+
+
+class MediumPartitions:
+    """Routes radios to per-region mediums and hands off at edges.
+
+    The facade holds pre-constructed mediums — it never builds one
+    (SL007: medium construction belongs to ``repro.scenario``). Static
+    radios are simply registered with ``medium_for(position)`` at
+    build time and never move; mobile radios are enrolled via
+    :meth:`manage`, which starts the poll loop on first use.
+    """
+
+    def __init__(self, sim: Simulator, default: Medium, handoff_period_s: float = 1.0):
+        if handoff_period_s <= 0.0:
+            raise ValueError("handoff_period_s must be positive")
+        self.sim = sim
+        self.default = default
+        self.handoff_period_s = handoff_period_s
+        self._regions: List[Tuple[Region, Medium]] = []
+        #: Enrollment-ordered managed radios (dict-as-ordered-set).
+        self._managed: Dict[Radio, None] = {}
+        self._polling = False
+        self.handoffs = 0
+
+    @property
+    def mediums(self) -> List[Medium]:
+        """Every distinct medium, default first, then declaration order."""
+        out: List[Medium] = [self.default]
+        for _, medium in self._regions:
+            if medium not in out:
+                out.append(medium)
+        return out
+
+    def add_region(self, region: Region, medium: Medium) -> None:
+        """Declare ``region`` as served by ``medium`` (spec order)."""
+        if any(existing.name == region.name for existing, _ in self._regions):
+            raise ValueError(f"duplicate region name: {region.name!r}")
+        self._regions.append((region, medium))
+
+    def region_for(self, point: Any) -> Optional[Region]:
+        """First declared region containing ``point``, else ``None``."""
+        for region, _ in self._regions:
+            if region.contains(point):
+                return region
+        return None
+
+    def medium_for(self, point: Any) -> Medium:
+        """The medium serving ``point`` (default when no region matches)."""
+        for region, medium in self._regions:
+            if region.contains(point):
+                return medium
+        return self.default
+
+    def manage(self, radio: Radio) -> None:
+        """Enroll a mobile radio for edge handoff.
+
+        The radio must already be registered with the medium serving
+        its current position (the build layer guarantees this). The
+        poll timer starts on the first enrollment so partition-free
+        worlds never schedule it.
+        """
+        if radio in self._managed:
+            return
+        self._managed[radio] = None
+        if not self._polling and self._regions:
+            self._polling = True
+            self.sim.schedule(self.handoff_period_s, self._poll)
+
+    def _poll(self) -> None:
+        for radio in list(self._managed):
+            target = self.medium_for(radio.position())
+            if target is not radio.medium:
+                self._handoff(radio, target)
+        self.sim.schedule(self.handoff_period_s, self._poll)
+
+    def _handoff(self, radio: Radio, target: Medium) -> None:
+        source = radio.medium
+        source.unregister(radio)
+        radio.medium = target
+        target.register(radio)
+        self.handoffs += 1
+        trace = self.sim.trace
+        if trace is not None:
+            trace.emit(
+                tr.PHY_PARTITION_HANDOFF,
+                self.sim.now,
+                radio=radio.name,
+                from_region=self._region_name(source),
+                to_region=self._region_name(target),
+            )
+
+    def _region_name(self, medium: Medium) -> str:
+        for region, candidate in self._regions:
+            if candidate is medium:
+                return region.name
+        return "default"

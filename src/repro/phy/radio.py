@@ -14,12 +14,19 @@ The medium is fully indexed so the delivery path does no linear work
 over the fleet (DESIGN.md §6): a per-channel registration-ordered
 index, an address→radio map, an interference-loss memo, and an
 airtime memo make per-frame cost independent of how many radios exist.
-The indexes preserve the exact per-receiver RNG draw order of the
+On top of those, a uniform-grid *spatial* index (cell size = the
+propagation horizon, DESIGN.md §6.2) restricts broadcast fan-out to
+the sender's 3×3 cell neighbourhood plus the channel's mobile radios,
+so per-frame cost scales with *local density*, not world size. The
+indexes preserve the exact per-receiver RNG draw order of the
 historical linear scans — registration order within a channel — which
 is what keeps every experiment digest byte-identical
 (``tests/goldens/*.json``). Channel retunes must go through
 ``Radio.set_channel`` (never assign ``radio.channel`` directly), and
-simlint rule SL008 keeps linear scans from creeping back in.
+simlint rules SL008/SL015 keep linear scans from creeping back in.
+The pre-spatial full-channel scan survives as the oracle path behind
+``spatial_index=False`` (spec: ``[phy] spatial_index``), which is how
+the grid is proven digest-identical on every existing scenario.
 
 Simplifications (documented per DESIGN.md §6): no collision model —
 per-channel FIFO serialisation approximates medium sharing; frames on
@@ -31,6 +38,8 @@ exact).
 from __future__ import annotations
 
 import math
+from bisect import insort
+from operator import attrgetter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import trace as tr
@@ -47,6 +56,7 @@ from repro.world.geometry import distance
 from repro.world.mobility import MobilityModel, StaticMobility
 
 _hypot = math.hypot
+_reg_seq = attrgetter("reg_seq")
 
 #: ``FrameType.DATA``, resolved on first use (importing ``mac.frames``
 #: at module load would cycle through the package imports).
@@ -105,12 +115,31 @@ class Radio:
         #: Per-timestamp position cache: mobile positions are pure
         #: functions of time, so within one instant every query (range
         #: check, rate pick, fan-out) reuses one computation. Radios on
-        #: a (exactly) ``StaticMobility`` pin their position once and
-        #: for all — the AP fleet never pays a position call again.
-        self._static = type(mobility) is StaticMobility
+        #: a (exactly) ``StaticMobility`` pin their position once per
+        #: *registration* — ``Medium.register`` calls ``_repin`` — so
+        #: the AP fleet never pays a position call again, and a radio
+        #: re-registered with a replaced mobility never serves a stale
+        #: pin to the fan-out snapshot.
+        self._static = False
         self._position_time: Optional[float] = None
-        self._position_value: Any = mobility.position(0.0) if self._static else None
+        self._position_value: Any = None
+        #: Spatial-index cell assigned by ``Medium._index_add`` (static
+        #: radios only); removal uses this stored key, so the index
+        #: stays consistent even if the pin is refreshed in between.
+        self._grid_cell: Optional[Tuple[int, int]] = None
         medium.register(self)
+
+    def _repin(self) -> None:
+        """Refresh the static-position pin from the current mobility.
+
+        Called on every ``Medium.register`` (including re-registration
+        after ``unregister`` and partition handoff): the pin, the
+        static flag, and the per-instant cache all restart from the
+        mobility model the radio holds *now*.
+        """
+        self._static = type(self.mobility) is StaticMobility
+        self._position_time = None
+        self._position_value = self.mobility.position(0.0) if self._static else None
 
     def position(self):
         if self._static:
@@ -201,6 +230,17 @@ class Medium:
     - ``_radios`` maps every registered radio to ``None`` in
       registration order (dict-as-ordered-set), making ``unregister``
       O(1).
+    - ``_grid[c][(cx, cy)]`` (spatial index, DESIGN.md §6.2) holds the
+      *static* radios of channel ``c`` whose pinned position falls in
+      grid cell ``(cx, cy)``, each bucket sorted by ``reg_seq``; the
+      cell edge is the propagation horizon, so every radio within
+      range of a sender lies in the sender's 3×3 neighbourhood.
+      ``_mobile[c]`` holds the channel's mobile radios (always
+      visited — they may be anywhere at delivery time). Merging the
+      neighbourhood with the mobile set and sorting by ``reg_seq``
+      reproduces the registration-order scan exactly for every radio
+      that can draw loss RNG; radios farther than one cell are
+      provably out of range and never drew in the scalar scan either.
     """
 
     def __init__(
@@ -211,10 +251,12 @@ class Medium:
         per_frame_overhead_s: float = 150e-6,
         max_arq_attempts: int = 4,
         adjacent_channel_loss: float = 0.25,
+        spatial_index: bool = True,
+        stream_name: str = "phy",
     ):
         self.sim = sim
         self.propagation = propagation or PropagationModel()
-        self._rng = (streams or RandomStreams()).get("phy")
+        self._rng = (streams or RandomStreams()).get(stream_name)
         self.per_frame_overhead_s = per_frame_overhead_s
         self.max_arq_attempts = max_arq_attempts
         #: Extra loss probability per *busy* spectrally-overlapping
@@ -251,8 +293,21 @@ class Medium:
         #: time"). Invalidated whenever the channel's membership
         #: changes; the delivery loop re-checks channel and deafness
         #: per visit, so a cached snapshot is byte-identical to
-        #: rebuilding it from ``_by_channel``.
+        #: rebuilding it from ``_by_channel``. This is the *scalar
+        #: oracle* path (``spatial_index=False``).
         self._fanout_cache: Dict[int, List[Tuple[Radio, Optional[float], Optional[float]]]] = {}
+        #: Spatial fan-out index (``spatial_index=True``, the default).
+        #: Cell edge = propagation horizon: any receiver within range
+        #: differs from the sender by at most one cell per axis.
+        self._spatial = spatial_index
+        self._cell_m = self.propagation.range_m
+        self._grid: Dict[int, Dict[Tuple[int, int], List[Radio]]] = {}
+        self._mobile: Dict[int, Dict[Radio, None]] = {}
+        #: channel → sender cell → merged local snapshot (same entry
+        #: shape as ``_fanout_cache``), invalidated with it.
+        self._local_cache: Dict[
+            int, Dict[Tuple[int, int], List[Tuple[Radio, Optional[float], Optional[float]]]]
+        ] = {}
         #: Cumulative transmit airtime per channel (s): the utilisation
         #: view the metrics registry snapshots as ``phy.airtime_s.ch*``.
         self.airtime_by_channel: Dict[int, float] = {}
@@ -272,17 +327,28 @@ class Medium:
     # -- registry maintenance -------------------------------------------
 
     def register(self, radio: Radio) -> None:
-        """Add a radio; re-registering after unregister re-queues it last."""
+        """Add a radio; re-registering after unregister re-queues it last.
+
+        Registration refreshes the radio's static-position pin
+        (``Radio._repin``) *before* indexing, so a radio re-registered
+        after ``unregister`` — possibly relocated under a new mobility
+        model, or handed off from another partition's medium — is
+        indexed (and snapshot) at its current position, never a stale
+        cached one.
+        """
         if radio in self._radios:
             return
         radio.reg_seq = self._registrations
         self._registrations += 1
         self._radios[radio] = None
+        radio._repin()
         # The new radio has the highest reg_seq, so appending keeps the
         # channel index registration-ordered.
         self._by_channel.setdefault(radio.channel, {})[radio] = None
         self._by_address.setdefault(radio.address, []).append(radio)
-        self._fanout_cache.pop(radio.channel, None)
+        if self._spatial:
+            self._index_add(radio, radio.channel)
+        self._invalidate(radio.channel)
 
     def unregister(self, radio: Radio) -> None:
         if radio not in self._radios:
@@ -291,7 +357,9 @@ class Medium:
         channel_index = self._by_channel.get(radio.channel)
         if channel_index is not None:
             channel_index.pop(radio, None)
-        self._fanout_cache.pop(radio.channel, None)
+        if self._spatial:
+            self._index_remove(radio, radio.channel)
+        self._invalidate(radio.channel)
         peers = self._by_address.get(radio.address)
         if peers is not None:
             if radio in peers:
@@ -311,20 +379,74 @@ class Medium:
         """
         if radio not in self._radios:
             return  # unregistered radios may retune freely
-        self._fanout_cache.pop(old_channel, None)
-        self._fanout_cache.pop(new_channel, None)
+        self._invalidate(old_channel)
+        self._invalidate(new_channel)
         old_index = self._by_channel.get(old_channel)
         if old_index is not None:
             old_index.pop(radio, None)
         index = self._by_channel.setdefault(new_channel, {})
         if index and next(reversed(index)).reg_seq > radio.reg_seq:
             index[radio] = None
-            ordered = sorted(index, key=lambda entry: entry.reg_seq)
+            ordered = sorted(index, key=_reg_seq)
             index.clear()
             for entry in ordered:
                 index[entry] = None
         else:
             index[radio] = None
+        if self._spatial:
+            self._index_remove(radio, old_channel)
+            self._index_add(radio, new_channel)
+
+    def _invalidate(self, channel: int) -> None:
+        """Drop the channel's cached fan-out snapshots (both paths)."""
+        self._fanout_cache.pop(channel, None)
+        self._local_cache.pop(channel, None)
+
+    def _index_add(self, radio: Radio, channel: int) -> None:
+        """Insert into the spatial index, preserving per-bucket reg order.
+
+        Static radios land in the grid cell of their pinned position
+        (stored on the radio, so removal is exact); mobile radios join
+        the channel's always-visited mobile set. Both structures keep
+        ``reg_seq`` order so the fan-out merge stays a sort of already
+        mostly-ordered runs.
+        """
+        if radio._static:
+            position = radio._position_value
+            cell = self._cell_m
+            key = (int(position.x // cell), int(position.y // cell))
+            radio._grid_cell = key
+            bucket = self._grid.setdefault(channel, {}).setdefault(key, [])
+            if bucket and bucket[-1].reg_seq > radio.reg_seq:
+                insort(bucket, radio, key=_reg_seq)
+            else:
+                bucket.append(radio)
+            return
+        mobile = self._mobile.setdefault(channel, {})
+        if mobile and next(reversed(mobile)).reg_seq > radio.reg_seq:
+            mobile[radio] = None
+            ordered = sorted(mobile, key=_reg_seq)
+            mobile.clear()
+            for entry in ordered:
+                mobile[entry] = None
+        else:
+            mobile[radio] = None
+
+    def _index_remove(self, radio: Radio, channel: int) -> None:
+        """Remove from the spatial index (cell key stored at insertion)."""
+        if radio._static:
+            cells = self._grid.get(channel)
+            if cells is None:
+                return
+            bucket = cells.get(radio._grid_cell)
+            if bucket is not None and radio in bucket:
+                bucket.remove(radio)
+                if not bucket:
+                    del cells[radio._grid_cell]
+            return
+        mobile = self._mobile.get(channel)
+        if mobile is not None:
+            mobile.pop(radio, None)
 
     def radios_on_channel(self, channel: int) -> List[Radio]:
         """Registered radios tuned to ``channel``, in registration order."""
@@ -473,14 +595,19 @@ class Medium:
 
     # -- delivery --------------------------------------------------------
 
-    def _fanout_entries(self, channel: int) -> List[Tuple[Radio, Optional[float], Optional[float]]]:
-        """The channel's cached ``(radio, x, y)`` delivery snapshot.
+    def _scan_entries(self, channel: int) -> List[Tuple[Radio, Optional[float], Optional[float]]]:
+        """Scalar-oracle snapshot: every channel member, registration order.
 
         Coordinates are pre-resolved for static radios (the AP fleet);
         ``None`` marks a mobile radio whose position must be asked at
         delivery time. Membership changes invalidate the cache, and the
         delivery loop re-checks channel/deafness per visit, so iterating
         a cached snapshot is byte-identical to the historical scan.
+
+        This is the only delivery-path method allowed to walk the
+        per-channel global index (simlint SL015 exempts it by name):
+        it *is* the oracle the spatial path is proven against, reached
+        only with ``spatial_index=False``.
         """
         entries = self._fanout_cache.get(channel)
         if entries is None:
@@ -493,16 +620,62 @@ class Medium:
             self._fanout_cache[channel] = entries
         return entries
 
+    def _local_entries(
+        self, channel: int, x: float, y: float
+    ) -> List[Tuple[Radio, Optional[float], Optional[float]]]:
+        """Spatial snapshot: the 3×3 cell neighbourhood of ``(x, y)``.
+
+        Static radios from the sender's cell and its eight neighbours
+        plus every mobile radio on the channel, merged into ``reg_seq``
+        order — exactly the subsequence of the scalar oracle's scan
+        that can reach the RNG draw: a static radio outside the
+        neighbourhood is farther than one cell edge (= the propagation
+        horizon) on some axis, so the oracle's range check skips it
+        without drawing. Cached per (channel, sender cell); any
+        membership change on the channel invalidates.
+        """
+        cell = self._cell_m
+        key = (int(x // cell), int(y // cell))
+        cache = self._local_cache.get(channel)
+        if cache is None:
+            cache = self._local_cache[channel] = {}
+        entries = cache.get(key)
+        if entries is None:
+            cx, cy = key
+            local: List[Radio] = []
+            cells = self._grid.get(channel)
+            if cells is not None:
+                for gx in (cx - 1, cx, cx + 1):
+                    for gy in (cy - 1, cy, cy + 1):
+                        bucket = cells.get((gx, gy))
+                        if bucket:
+                            local.extend(bucket)
+            mobile = self._mobile.get(channel)
+            if mobile:
+                local.extend(mobile)
+            local.sort(key=_reg_seq)
+            entries = [
+                (radio, radio._position_value.x, radio._position_value.y)
+                if radio._static
+                else (radio, None, None)
+                for radio in local
+            ]
+            cache[key] = entries
+        return entries
+
     def _deliver_broadcast(
         self, sender: Radio, frame: Any, channel: int, airtime: Optional[float] = None
     ) -> None:
-        entries = self._fanout_entries(channel)
-        if not entries:
-            return
         now = self.sim.now
         sender_pos = sender.position()
         sender_x = sender_pos.x
         sender_y = sender_pos.y
+        if self._spatial:
+            entries = self._local_entries(channel, sender_x, sender_y)
+        else:
+            entries = self._scan_entries(channel)
+        if not entries:
+            return
         propagation = self.propagation
         range_m = propagation.range_m
         # loss_probability returns the flat floor anywhere inside the

@@ -25,6 +25,8 @@ from repro.scenario.spec import (
     DriverSpec,
     FailureSpec,
     MobilitySpec,
+    PartitionSpec,
+    PhySpec,
     PropagationSpec,
     ScenarioSpec,
     SpecError,
@@ -38,6 +40,8 @@ __all__ = [
     "DriverSpec",
     "FailureSpec",
     "MobilitySpec",
+    "PartitionSpec",
+    "PhySpec",
     "PropagationSpec",
     "RunResult",
     "ScenarioSpec",

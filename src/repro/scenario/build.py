@@ -20,7 +20,7 @@ result.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import SpiderConfig
 from repro.core.fatvap import FatVapConfig, FatVapDriver
@@ -33,13 +33,20 @@ from repro.net.dhcp import DhcpServer, DhcpServerConfig
 from repro.net.tcp import TcpConfig
 from repro.obs import trace as tr
 from repro.obs.spans import SPAN_SCENARIO_BUILD, current_profiler
+from repro.phy.partition import MediumPartitions, Region
 from repro.phy.propagation import PropagationModel
 from repro.phy.radio import Medium
 from repro.scenario.results import RunResult, result_from_driver
-from repro.scenario.spec import DriverSpec, ScenarioSpec, SpecError
+from repro.scenario.spec import DriverSpec, PartitionSpec, ScenarioSpec, SpecError
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
-from repro.world.deployment import Deployment, DeploymentConfig, generate_deployment
+from repro.world.deployment import (
+    Deployment,
+    DeploymentConfig,
+    MetroConfig,
+    generate_deployment,
+    generate_metro_deployment,
+)
 from repro.world.geometry import Point
 from repro.world.mobility import (
     LoopRouteMobility,
@@ -66,15 +73,21 @@ class World:
         propagation: PropagationModel,
         wired_latency: float = 0.075,
         name: str = "adhoc",
+        spatial_index: bool = True,
     ):
         self.name = name
         self.seed = seed
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
-        self.medium = Medium(self.sim, propagation, self.streams)
+        self._spatial_index = spatial_index
+        self.medium = Medium(self.sim, propagation, self.streams, spatial_index=spatial_index)
         self.wired_latency = wired_latency
         self.aps: Dict[str, AccessPoint] = {}
         self.routers: Dict[str, ApRouter] = {}
+        #: Per-region mediums + edge handoff; ``None`` until the spec's
+        #: ``[[partitions]]`` are enabled (legacy worlds stay on the
+        #: single shared ``medium``).
+        self.partitions: Optional[MediumPartitions] = None
         #: Loop worlds share one mobility model across drivers; static
         #: worlds hand each driver its own ``StaticMobility`` (matching
         #: the historical lab wiring exactly).
@@ -84,6 +97,40 @@ class World:
         self.spec: Optional[ScenarioSpec] = None
 
     # -- wiring -----------------------------------------------------------
+
+    def enable_partitions(
+        self, partitions: Sequence[PartitionSpec], handoff_period_s: float = 1.0
+    ) -> None:
+        """Split the world into per-region mediums (before any AP wiring).
+
+        Each declared region gets its own ``Medium`` drawing loss from
+        its own ``phy:{region}`` RNG stream; the world's original
+        ``medium`` serves everything outside every region. Regions are
+        installed in spec order — the declaration-order-wins overlap
+        rule of ``MediumPartitions.medium_for``.
+        """
+        if self.partitions is not None:
+            raise BuildError("partitions already enabled")
+        if self.aps:
+            raise BuildError("enable partitions before wiring APs")
+        self.partitions = MediumPartitions(self.sim, self.medium, handoff_period_s)
+        for part in partitions:
+            medium = Medium(
+                self.sim,
+                self.medium.propagation,
+                self.streams,
+                spatial_index=self._spatial_index,
+                stream_name=f"phy:{part.name}",
+            )
+            self.partitions.add_region(
+                Region(part.name, part.x_min, part.y_min, part.x_max, part.y_max), medium
+            )
+
+    def medium_for(self, position: Point) -> Medium:
+        """The medium serving ``position`` (the shared one if unsplit)."""
+        if self.partitions is not None:
+            return self.partitions.medium_for(position)
+        return self.medium
 
     def add_ap(
         self,
@@ -109,7 +156,7 @@ class World:
         rng = self.streams.get(f"ap:{name}")
         ap = AccessPoint(
             self.sim,
-            self.medium,
+            self.medium_for(position),
             name,
             channel,
             position,
@@ -184,6 +231,28 @@ class World:
                 wired_latency,
             )
 
+    def populate_metro(self, config: MetroConfig, wired_latency: Optional[float] = None) -> None:
+        """City-scale wiring: the block-grid AP field, in site order.
+
+        Mobility (if any) is laid over the grid by the caller first —
+        same mobility-then-deployment order as ``populate_loop``. Each
+        AP registers with the medium serving its position, so a
+        partitioned world shards the fleet across regions here.
+        """
+        if wired_latency is None:
+            wired_latency = self.wired_latency
+        self.deployment = generate_metro_deployment(config, self.streams.get("deployment"))
+        for site in self.deployment.open_sites():
+            self.add_ap(
+                site.name,
+                site.channel,
+                site.position,
+                site.backhaul_bps,
+                site.beta_min,
+                site.beta_max,
+                wired_latency,
+            )
+
     def router_lookup(self) -> Callable[[str], Optional[ApRouter]]:
         return lambda name: self.routers.get(name)
 
@@ -196,52 +265,79 @@ class World:
             return self.mobility
         return self.static_mobility()
 
+    def _driver_medium(self) -> Medium:
+        """The medium serving the driver's start position.
+
+        Unsplit worlds always answer the shared medium; partitioned
+        worlds home the client where it begins — the handoff poll
+        (``MediumPartitions``) re-homes it as it crosses edges.
+        """
+        if self.partitions is None:
+            return self.medium
+        return self.partitions.medium_for(self._driver_mobility().position(0.0))
+
+    def _manage_driver(self, driver: Any) -> Any:
+        """Enroll the driver's card(s) for partition-edge handoff."""
+        if self.partitions is not None:
+            cards = getattr(driver, "drivers", None)
+            for radio in [card.radio for card in cards] if cards else [driver.radio]:
+                self.partitions.manage(radio)
+        return driver
+
     # -- driver factories -------------------------------------------------
 
     def make_spider(self, config: SpiderConfig, address: str = "spider") -> SpiderDriver:
-        return SpiderDriver(
-            self.sim,
-            self.medium,
-            self._driver_mobility(),
-            address=address,
-            config=config,
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("spider"),
+        return self._manage_driver(
+            SpiderDriver(
+                self.sim,
+                self._driver_medium(),
+                self._driver_mobility(),
+                address=address,
+                config=config,
+                router_lookup=self.router_lookup(),
+                rng=self.streams.get("spider"),
+            )
         )
 
     def make_stock(
         self, config: Optional[StockConfig] = None, address: str = "stock"
     ) -> StockDriver:
-        return StockDriver(
-            self.sim,
-            self.medium,
-            self._driver_mobility(),
-            address,
-            config=config or StockConfig(),
-            router_lookup=self.router_lookup(),
+        return self._manage_driver(
+            StockDriver(
+                self.sim,
+                self._driver_medium(),
+                self._driver_mobility(),
+                address,
+                config=config or StockConfig(),
+                router_lookup=self.router_lookup(),
+            )
         )
 
     def make_fatvap(
         self, config: Optional[FatVapConfig] = None, address: str = "fatvap"
     ) -> FatVapDriver:
-        return FatVapDriver(
-            self.sim,
-            self.medium,
-            self._driver_mobility(),
-            address,
-            config=config or FatVapConfig(),
-            router_lookup=self.router_lookup(),
-            rng=self.streams.get("fatvap"),
+        return self._manage_driver(
+            FatVapDriver(
+                self.sim,
+                self._driver_medium(),
+                self._driver_mobility(),
+                address,
+                config=config or FatVapConfig(),
+                router_lookup=self.router_lookup(),
+                rng=self.streams.get("fatvap"),
+            )
         )
 
     def make_multicard(self, cards: int = 2, address: str = "multicard") -> MultiCardDriver:
-        return MultiCardDriver(
-            self.sim,
-            self.medium,
-            self._driver_mobility(),
-            address,
-            cards=cards,
-            router_lookup=self.router_lookup(),
+        return self._manage_driver(
+            MultiCardDriver(
+                self.sim,
+                self._driver_medium(),
+                self._driver_mobility(),
+                address,
+                cards=cards,
+                router_lookup=self.router_lookup(),
+            )
         )
 
     def make_driver(self, spec: DriverSpec, address: str):
@@ -302,8 +398,16 @@ def _build(spec: ScenarioSpec) -> World:
         base_loss=spec.propagation.base_loss,
         edge_start=spec.propagation.edge_start,
     )
-    world = World(spec.seed, propagation, spec.wired_latency, name=spec.name)
+    world = World(
+        spec.seed,
+        propagation,
+        spec.wired_latency,
+        name=spec.name,
+        spatial_index=spec.phy.spatial_index,
+    )
     world.spec = spec
+    if spec.partitions:
+        world.enable_partitions(spec.partitions, spec.phy.handoff_period_s)
 
     if spec.mobility.kind == "static":
         world.client_position = Point(spec.mobility.x, spec.mobility.y)
@@ -319,6 +423,11 @@ def _build(spec: ScenarioSpec) -> World:
             _deployment_config(spec),
             spec.wired_latency,
         )
+    elif spec.deployment.kind == "metro":
+        if spec.mobility.kind == "loop":
+            route = rectangular_loop(spec.mobility.route_width, spec.mobility.route_height)
+            world.mobility = LoopRouteMobility(route, spec.mobility.speed)
+        world.populate_metro(_metro_config(spec), spec.wired_latency)
     else:
         if spec.mobility.kind == "loop":
             route = rectangular_loop(spec.mobility.route_width, spec.mobility.route_height)
@@ -374,6 +483,24 @@ def _deployment_config(spec: ScenarioSpec) -> DeploymentConfig:
     if dep.channel_mix is not None:
         kwargs["channel_mix"] = dict(dep.channel_mix)
     return DeploymentConfig(**kwargs)
+
+
+def _metro_config(spec: ScenarioSpec) -> MetroConfig:
+    dep = spec.deployment
+    kwargs: Dict[str, Any] = dict(
+        blocks_x=dep.blocks_x,
+        blocks_y=dep.blocks_y,
+        block_m=dep.block_m,
+        aps_per_block=dep.aps_per_block,
+        backhaul_bps_min=dep.backhaul_bps_min,
+        backhaul_bps_max=dep.backhaul_bps_max,
+        beta_min_range=tuple(dep.beta_min_range),
+        beta_max_range=tuple(dep.beta_max_range),
+        open_fraction=dep.open_fraction,
+    )
+    if dep.channel_mix is not None:
+        kwargs["channel_mix"] = dict(dep.channel_mix)
+    return MetroConfig(**kwargs)
 
 
 # -- failure injection ------------------------------------------------------

@@ -17,6 +17,8 @@ from repro.scenario.spec import (
     DeploymentSpec,
     DriverSpec,
     MobilitySpec,
+    PartitionSpec,
+    PhySpec,
     PropagationSpec,
     ScenarioSpec,
 )
@@ -163,6 +165,76 @@ def lossy_backhaul() -> ScenarioSpec:
             backhaul_bps_min=2.0e5,
             backhaul_bps_max=1.5e6,
         ),
+        drivers=_spider_fleet(),
+    )
+
+
+def _quadrants(width: float, height: float) -> tuple:
+    """Four quadrant partitions tiling ``[0, width) × [0, height)``."""
+    mid_x = width / 2.0
+    mid_y = height / 2.0
+    return (
+        PartitionSpec("sw", 0.0, 0.0, mid_x, mid_y),
+        PartitionSpec("se", mid_x, 0.0, width, mid_y),
+        PartitionSpec("nw", 0.0, mid_y, mid_x, height),
+        PartitionSpec("ne", mid_x, mid_y, width, height),
+    )
+
+
+@register("metro-core")
+def metro_core() -> ScenarioSpec:
+    """City-scale stress world: a 4.8 × 3.8 km block grid, ~10k APs.
+
+    1280 city blocks at metro density (mean 8.5 APs each ⇒ ~10,900
+    APs), split into four quadrant mediums with edge handoff; one
+    Spider loops through all four quadrants. This is the scale the
+    spatial index and the partitioned medium exist for — the default
+    duration is short because 10k beaconing APs emit ~10⁵ frames per
+    simulated second.
+    """
+    width = 40 * 120.0
+    height = 32 * 120.0
+    return ScenarioSpec(
+        name="metro-core",
+        duration=5.0,
+        mobility=MobilitySpec(kind="loop", speed=10.0, route_width=3000.0, route_height=2400.0),
+        deployment=DeploymentSpec(
+            kind="metro",
+            blocks_x=40,
+            blocks_y=32,
+            block_m=120.0,
+            aps_per_block=8.5,
+        ),
+        phy=PhySpec(handoff_period_s=1.0),
+        partitions=_quadrants(width, height),
+        drivers=_spider_fleet(),
+    )
+
+
+@register("metro-core-small")
+def metro_core_small() -> ScenarioSpec:
+    """CI-sized metro world: same shape as metro-core, ~40 APs.
+
+    Small enough for the digest-identity golden
+    (``tests/goldens/scenario-digests.json``) to run at the standard
+    90 s window, while still exercising every metro-specific code
+    path: block-grid deployment, four quadrant mediums, and partition
+    handoff as the client loops across all quadrant edges.
+    """
+    width = 6 * 120.0
+    height = 4 * 120.0
+    return ScenarioSpec(
+        name="metro-core-small",
+        mobility=MobilitySpec(kind="loop", speed=10.0, route_width=600.0, route_height=360.0),
+        deployment=DeploymentSpec(
+            kind="metro",
+            blocks_x=6,
+            blocks_y=4,
+            block_m=120.0,
+            aps_per_block=1.7,
+        ),
+        phy=PhySpec(handoff_period_s=1.0),
+        partitions=_quadrants(width, height),
         drivers=_spider_fleet(),
     )
 

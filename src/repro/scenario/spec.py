@@ -35,6 +35,32 @@ class PropagationSpec:
 
 
 @dataclass(frozen=True)
+class PhySpec:
+    """PHY-layer wiring knobs (see ``repro.phy.radio`` / ``partition``).
+
+    ``spatial_index=False`` selects the scalar full-channel-scan oracle
+    inside every ``Medium`` — slower, but the reference the grid path
+    is proven digest-identical against. ``handoff_period_s`` is the
+    partition poll period for mobile radios (only meaningful when the
+    spec declares ``[[partitions]]``).
+    """
+
+    spatial_index: bool = True
+    handoff_period_s: float = 1.0
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One geographic region served by its own medium (half-open bbox)."""
+
+    name: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+
+@dataclass(frozen=True)
 class MobilitySpec:
     """Client motion: a rectangular vehicular loop or a static point."""
 
@@ -65,10 +91,13 @@ class DeploymentSpec:
 
     ``kind="generated"`` mirrors ``repro.world.deployment``'s Poisson
     cluster process (requires loop mobility for the route);
-    ``kind="explicit"`` places exactly ``aps``.
+    ``kind="explicit"`` places exactly ``aps``; ``kind="metro"`` tiles
+    a ``blocks_x × blocks_y`` city-block grid (``block_m`` per side)
+    with a Poisson ``aps_per_block`` APs scattered per block — the
+    city-scale shape the partitioned medium exists for.
     """
 
-    kind: str = "generated"  # "generated" | "explicit"
+    kind: str = "generated"  # "generated" | "explicit" | "metro"
     density_per_km: float = 6.0
     #: channel → probability; ``None`` keeps the Amherst default mix.
     channel_mix: Optional[Dict[int, float]] = None
@@ -81,6 +110,18 @@ class DeploymentSpec:
     beta_max_range: Tuple[float, float] = (1.0, 4.0)
     open_fraction: float = 1.0
     aps: Tuple[ApSpec, ...] = ()
+    # metro only (omitted from the canonical form at these defaults)
+    blocks_x: int = 0
+    blocks_y: int = 0
+    block_m: float = 120.0
+    aps_per_block: float = 2.0
+
+
+#: Default value per DeploymentSpec field — ``to_dict`` drops the
+#: metro-only keys at these values to keep pre-metro digests stable.
+_DEPLOYMENT_DEFAULTS: Dict[str, Any] = {
+    f.name: f.default for f in fields(DeploymentSpec) if f.default is not None
+}
 
 
 @dataclass(frozen=True)
@@ -136,6 +177,8 @@ class ScenarioSpec:
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
     deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    phy: PhySpec = field(default_factory=PhySpec)
+    partitions: Tuple[PartitionSpec, ...] = ()
     drivers: Tuple[DriverSpec, ...] = ()
     failures: Tuple[FailureSpec, ...] = ()
 
@@ -147,8 +190,22 @@ class ScenarioSpec:
         String keys keep the dict TOML/JSON-representable (channel
         tables like ``schedule`` and ``channel_mix`` use integer keys
         internally); the readers convert back.
+
+        Fields introduced after PR 5 are *omitted at their defaults*:
+        the canonical form — and hence ``digest()``, the exec cache
+        key, and every committed golden — is unchanged for any spec
+        that does not use them.
         """
-        return _plain(asdict(self))
+        data = _plain(asdict(self))
+        if self.phy == PhySpec():
+            del data["phy"]
+        if not self.partitions:
+            del data["partitions"]
+        deployment = data["deployment"]
+        for metro_field in ("blocks_x", "blocks_y", "block_m", "aps_per_block"):
+            if deployment[metro_field] == _DEPLOYMENT_DEFAULTS[metro_field]:
+                del deployment[metro_field]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -158,6 +215,10 @@ class ScenarioSpec:
             mobility=_sub(MobilitySpec, data.pop("mobility", None)),
             deployment=_deployment(data.pop("deployment", None)),
             traffic=_sub(TrafficSpec, data.pop("traffic", None)),
+            phy=_sub(PhySpec, data.pop("phy", None)),
+            partitions=tuple(
+                _sub(PartitionSpec, p, required=True) for p in _seq(data.pop("partitions", ()))
+            ),
             drivers=tuple(
                 _sub(DriverSpec, d, required=True) for d in _seq(data.pop("drivers", ()))
             ),
@@ -185,15 +246,40 @@ class ScenarioSpec:
         """Deployment-field overrides (the ablation sweeps' workhorse)."""
         return replace(self, deployment=replace(self.deployment, **overrides))
 
+    def with_phy(self, **overrides: Any) -> "ScenarioSpec":
+        """PHY-field overrides (e.g. ``spatial_index=False`` → oracle)."""
+        return replace(self, phy=replace(self.phy, **overrides))
+
     def validated(self) -> "ScenarioSpec":
         if self.mobility.kind not in ("loop", "static"):
             raise SpecError(f"unknown mobility kind {self.mobility.kind!r}")
-        if self.deployment.kind not in ("generated", "explicit"):
+        if self.deployment.kind not in ("generated", "explicit", "metro"):
             raise SpecError(f"unknown deployment kind {self.deployment.kind!r}")
         if self.deployment.kind == "generated" and self.mobility.kind != "loop":
             raise SpecError("a generated deployment needs loop mobility (it lines the route)")
         if self.deployment.kind == "explicit" and self.deployment.channel_mix is not None:
-            raise SpecError("channel_mix only applies to generated deployments")
+            raise SpecError("channel_mix only applies to generated and metro deployments")
+        if self.deployment.kind == "metro":
+            if self.deployment.blocks_x < 1 or self.deployment.blocks_y < 1:
+                raise SpecError("a metro deployment needs blocks_x >= 1 and blocks_y >= 1")
+            if self.deployment.block_m <= 0:
+                raise SpecError("block_m must be positive")
+            if self.deployment.aps_per_block <= 0:
+                raise SpecError("aps_per_block must be positive")
+        if self.phy.handoff_period_s <= 0:
+            raise SpecError("handoff_period_s must be positive")
+        region_names: set = set()
+        for partition in self.partitions:
+            if not partition.name:
+                raise SpecError("partition names must be non-empty")
+            if partition.name in region_names:
+                raise SpecError(f"duplicate partition name {partition.name!r}")
+            region_names.add(partition.name)
+            if partition.x_max <= partition.x_min or partition.y_max <= partition.y_min:
+                raise SpecError(
+                    f"partition {partition.name!r} has an empty bbox "
+                    "(need x_max > x_min and y_max > y_min)"
+                )
         if self.traffic.kind not in ("bulk-tcp", "none"):
             raise SpecError(f"unknown traffic kind {self.traffic.kind!r}")
         for driver in self.drivers:

@@ -14,6 +14,7 @@ Measured channel mixes from the paper (Sec. 4.1):
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -160,3 +161,78 @@ def _geometric(rng: random.Random, p: float) -> int:
     while rng.random() >= p and draws < 8:
         draws += 1
     return draws
+
+
+@dataclass
+class MetroConfig:
+    """Parameters of a city-block grid deployment.
+
+    A metro core is tiled as ``blocks_x × blocks_y`` square blocks of
+    ``block_m`` per side; each block holds a Poisson-distributed
+    number of APs (mean ``aps_per_block``) scattered uniformly inside
+    it. Channel/backhaul/DHCP knobs mean the same as in
+    :class:`DeploymentConfig` — the per-AP profile machinery is
+    shared, only the placement process differs.
+    """
+
+    blocks_x: int = 10
+    blocks_y: int = 10
+    block_m: float = 120.0
+    aps_per_block: float = 2.0
+    channel_mix: Dict[int, float] = field(default_factory=lambda: dict(AMHERST_CHANNEL_MIX))
+    backhaul_bps_min: float = 1.0e6
+    backhaul_bps_max: float = 10.0e6
+    beta_min_range: tuple = (0.15, 0.6)
+    beta_max_range: tuple = (1.0, 4.0)
+    open_fraction: float = 1.0
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson draw (mean is a handful, so the loop is short)."""
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def generate_metro_deployment(
+    config: Optional[MetroConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> Deployment:
+    """Tile a city-block grid with Poisson-count APs per block.
+
+    Blocks are visited row-major (y outer, x inner) and AP names are
+    ``ap{index}`` in visit order, so the whole deployment — counts,
+    positions, channels, profiles — is a pure function of the config
+    and the RNG state, exactly like :func:`generate_deployment`.
+    ``route_length`` reports the grid's east-west extent (there is no
+    route; callers lay mobility over the grid separately).
+    """
+    config = config or MetroConfig()
+    rng = rng or random.Random(0)
+
+    block = config.block_m
+    sites: List[ApSite] = []
+    for block_y in range(config.blocks_y):
+        for block_x in range(config.blocks_x):
+            x0 = block_x * block
+            y0 = block_y * block
+            for _ in range(_poisson(rng, config.aps_per_block)):
+                position = Point(x0 + rng.uniform(0.0, block), y0 + rng.uniform(0.0, block))
+                beta_min = rng.uniform(*config.beta_min_range)
+                beta_max = max(beta_min + 0.1, rng.uniform(*config.beta_max_range))
+                sites.append(
+                    ApSite(
+                        name=f"ap{len(sites)}",
+                        position=position,
+                        channel=_draw_channel(rng, config.channel_mix),
+                        backhaul_bps=rng.uniform(config.backhaul_bps_min, config.backhaul_bps_max),
+                        beta_min=beta_min,
+                        beta_max=beta_max,
+                        open_access=rng.random() < config.open_fraction,
+                    )
+                )
+    return Deployment(sites=sites, route_length=config.blocks_x * block)

@@ -96,6 +96,54 @@ class TestSpecRoundTrip:
         assert spec.digest() != spec.with_overrides(seed=spec.seed + 1).digest()
 
 
+class TestPartitionSpecRoundTrip:
+    """The PR-9 spec tables: [phy], [[partitions]], metro fields."""
+
+    def _metro(self):
+        from repro.scenario.spec import PartitionSpec, PhySpec
+
+        return ScenarioSpec(
+            name="metro-test",
+            deployment=DeploymentSpec(kind="metro", blocks_x=3, blocks_y=2, aps_per_block=1.5),
+            phy=PhySpec(spatial_index=False, handoff_period_s=0.25),
+            partitions=(
+                PartitionSpec("west", 0.0, 0.0, 180.0, 240.0),
+                PartitionSpec("east", 180.0, 0.0, 360.0, 240.0),
+            ),
+            drivers=(DriverSpec(kind="stock"),),
+        ).validated()
+
+    def test_toml_round_trip(self):
+        spec = self._metro()
+        again = ScenarioSpec.from_toml(spec.to_toml())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_json_round_trip(self):
+        spec = self._metro()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_new_fields_omitted_at_defaults(self):
+        # The canonical form of a legacy spec must not mention any
+        # PR-9 key — that is what keeps every committed digest golden
+        # and exec cache entry valid.
+        data = lab_spec().to_dict()
+        assert "phy" not in data
+        assert "partitions" not in data
+        for metro_key in ("blocks_x", "blocks_y", "block_m", "aps_per_block"):
+            assert metro_key not in data["deployment"]
+        rendered = lab_spec().to_toml()
+        assert "[phy]" not in rendered and "partitions" not in rendered
+
+    def test_new_fields_present_when_set(self):
+        data = self._metro().to_dict()
+        assert data["phy"] == {"spatial_index": False, "handoff_period_s": 0.25}
+        assert [p["name"] for p in data["partitions"]] == ["west", "east"]
+        assert data["deployment"]["blocks_x"] == 3
+        # block_m stayed at its default, so it is still omitted.
+        assert "block_m" not in data["deployment"]
+
+
 class TestSpecValidation:
     def test_unknown_top_level_field(self):
         with pytest.raises(SpecError, match="unknown scenario field"):
@@ -305,6 +353,17 @@ class TestCli:
         assert self.run_cli(["show", "vehicular-boston"]) == 0
         spec = ScenarioSpec.from_toml(capsys.readouterr().out)
         assert spec == scenario("vehicular-boston")
+
+    def test_show_renders_partitions_table(self, capsys):
+        assert self.run_cli(["show", "metro-core-small"]) == 0
+        out = capsys.readouterr().out
+        assert "[[partitions]]" in out and 'kind = "metro"' in out
+        assert ScenarioSpec.from_toml(out) == scenario("metro-core-small")
+
+    def test_show_omits_partitions_for_legacy_specs(self, capsys):
+        assert self.run_cli(["show", "dense-downtown"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" not in out and "[phy]" not in out and "blocks_" not in out
 
     def test_unknown_scenario_exit_2(self, capsys):
         assert self.run_cli(["run", "vehicular-nowhere"]) == 2

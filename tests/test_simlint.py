@@ -513,6 +513,67 @@ class TestPhyHotPathScan:
         assert run.findings == []
 
 
+class TestCrossPartitionScan:
+    def test_channel_index_iteration_flagged(self):
+        run = lint(unit("""
+            class Medium:
+                def _deliver_broadcast(self, sender, frame, channel):
+                    for radio in self._by_channel.get(channel, ()):
+                        radio.deliver(frame)
+        """), select=["SL015"])
+        assert len(run.findings) == 1
+        assert "spatial grid" in run.findings[0].message
+
+    def test_subscript_view_and_wrapper_flagged(self):
+        run = lint(unit("""
+            class Medium:
+                def _deliver_unicast(self, sender, frame, channel):
+                    for radio in self._by_channel[channel]:
+                        pass
+
+                def _local_entries(self, channel, x, y):
+                    return [r for r in sorted(self._by_channel[channel].keys())]
+        """), select=["SL015"])
+        assert len(run.findings) == 2
+
+    def test_oracle_and_maintenance_exempt(self):
+        run = lint(unit("""
+            class Medium:
+                def _scan_entries(self, channel):
+                    return [(r, None, None) for r in self._by_channel.get(channel, ())]
+
+                def _retune(self, radio, old, new):
+                    ordered = sorted(self._by_channel[new], key=lambda r: r.reg_seq)
+
+                def radios_on_channel(self, channel):
+                    return list(self._by_channel.get(channel, ()))
+        """), select=["SL015"])
+        assert run.findings == []
+
+    def test_grid_gather_ok(self):
+        run = lint(unit("""
+            class Medium:
+                def _local_entries(self, channel, x, y):
+                    local = []
+                    cells = self._grid.get(channel)
+                    for key in ((0, 0), (0, 1)):
+                        bucket = cells.get(key)
+                        if bucket:
+                            local.extend(bucket)
+                    return sorted(local, key=lambda r: r.reg_seq)
+        """), select=["SL015"])
+        assert run.findings == []
+
+    def test_other_classes_ignored(self):
+        run = lint(unit("""
+            class Router:
+                def _deliver_broadcast(self, channel):
+                    for radio in self._by_channel[channel]:
+                        pass
+        """), select=["SL015"])
+        assert run.findings == []
+
+
 class TestSpanGuard:
     def test_unguarded_emit_flagged(self):
         run = lint(unit("""
@@ -756,7 +817,7 @@ class TestEngine:
         assert "SL003" not in rules and "SL001" in rules
 
     def test_all_documented_rules_registered(self):
-        documented = {f"SL{i:03d}" for i in range(15)}  # SL000–SL014
+        documented = {f"SL{i:03d}" for i in range(16)}  # SL000–SL015
         assert documented <= set(RULES)
 
     def test_module_name_for_walks_packages(self, tmp_path):
