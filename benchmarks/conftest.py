@@ -15,6 +15,7 @@ numeric scalars of each result), so CI can archive a per-run artifact
 without parsing pytest-benchmark's storage format.
 """
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -59,6 +60,12 @@ def once(benchmark, request):
     """Run the experiment exactly once under the benchmark clock."""
 
     def runner(fn, *args, **kwargs):
+        # Collect the previous tests' garbage before the clock starts:
+        # late in the session the heap holds tens of millions of dead
+        # objects from earlier benches, and letting their collection
+        # land inside the timed region charges one test for another's
+        # allocations (measured ~30% noise on the phy microbenches).
+        gc.collect()
         start = time.perf_counter()
         result = benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
         _RECORDS.append(

@@ -1,4 +1,4 @@
-"""PHY hot-path rules: SL008 and SL015 (no linear scans in delivery).
+"""PHY hot-path rules: SL008/SL015 (no linear scans) and SL016 (kernel purity).
 
 The medium's delivery and lookup paths run once per frame; PR 5 made
 their cost independent of fleet size by replacing the historical
@@ -188,3 +188,100 @@ class CrossPartitionScan(Rule):
                         "DESIGN.md §6.2); only _scan_entries (the scalar "
                         "oracle) may walk the channel index",
                     )
+
+
+#: The one module in ``repro.phy`` allowed to import numpy.
+_KERNEL_MODULE = "repro.phy.kernel"
+
+#: Import roots that would smuggle simulation state into the kernel.
+_KERNEL_IMPURE_ROOTS = ("random", "repro.sim", "repro.obs", "repro.mac", "repro.drivers")
+
+#: Attribute names whose access inside the kernel means it is reading
+#: the simulation clock, the trace bus, or an RNG stream — all state
+#: the kernel's purity contract forbids (geometry in, floats out).
+_KERNEL_IMPURE_ATTRS = {"now", "trace", "random", "uniform", "emit"}
+
+
+def _import_root(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+@register_rule
+class KernelPurity(Rule):
+    """SL016: numpy stays in the kernel; the kernel stays pure.
+
+    Two directions of the same containment (DESIGN.md §6.3):
+
+    - Only ``repro.phy.kernel`` may import numpy. Array semantics leak
+      determinism bugs (``np.hypot`` and pairwise ``np.sum`` round
+      differently from the scalar math) — every numpy expression must
+      live in the kernel, next to the identity argument that justifies
+      it, never inline in delivery code.
+    - The kernel itself must be a pure function of its arguments: no
+      simulation clock, no trace emission, no RNG. Draw ordering is
+      the determinism contract's load-bearing wall, and it stays
+      provable only while every draw happens in ``Medium`` — a kernel
+      that consumed randomness (or consulted ``sim.now``) could
+      reorder draws invisibly.
+    """
+
+    id = "SL016"
+    name = "kernel-purity"
+    severity = Severity.ERROR
+    description = "numpy outside the phy kernel, or clock/trace/RNG inside it"
+
+    def check(self, unit: ModuleUnit, project: ProjectContext) -> Iterator[Finding]:
+        module = unit.module
+        if module is None or not (module == "repro.phy" or module.startswith("repro.phy.")):
+            return
+        assert unit.tree is not None
+        if module == _KERNEL_MODULE:
+            yield from self._check_kernel(unit)
+        else:
+            yield from self._check_numpy_confined(unit)
+
+    def _check_numpy_confined(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            names = ()
+            if isinstance(node, ast.Import):
+                names = tuple(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                names = (node.module,)
+            for name in names:
+                if _import_root(name) == "numpy":
+                    yield self.finding(
+                        unit.path,
+                        node,
+                        "numpy import outside repro.phy.kernel — array code "
+                        "in repro.phy must live in the kernel module, where "
+                        "its bit-identity to the scalar path is argued and "
+                        "tested (DESIGN.md §6.3)",
+                    )
+
+    def _check_kernel(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if isinstance(node, ast.Import):
+                    names = tuple(alias.name for alias in node.names)
+                else:
+                    names = (node.module,) if node.module is not None else ()
+                for name in names:
+                    if any(
+                        name == root or name.startswith(root + ".")
+                        for root in _KERNEL_IMPURE_ROOTS
+                    ):
+                        yield self.finding(
+                            unit.path,
+                            node,
+                            f"kernel imports {name!r} — the phy kernel must "
+                            "stay a pure function of its arguments (no "
+                            "clock, no trace, no RNG)",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr in _KERNEL_IMPURE_ATTRS:
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"kernel touches .{node.attr} — clock/trace/RNG access "
+                    "belongs in Medium, which owns draw ordering; the "
+                    "kernel only transforms geometry",
+                )

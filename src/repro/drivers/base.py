@@ -468,9 +468,12 @@ class BaseDriver:
     # -- frame dispatch ---------------------------------------------------------------
 
     def _on_frame(self, frame: Frame) -> None:
-        if frame.dst not in (self.address, frames.BROADCAST):
+        # Runs once per heard frame: identity/equality tests beat tuple
+        # membership (no tuple build, no iteration) on this hot path.
+        if frame.dst != self.address and frame.dst != frames.BROADCAST:
             return
-        if frame.type in (FrameType.BEACON, FrameType.PROBE_RESPONSE):
+        frame_type = frame.type
+        if frame_type is FrameType.BEACON or frame_type is FrameType.PROBE_RESPONSE:
             payload = frame.payload or {}
             channel = payload.get("channel", self.radio.channel)
             self.scanner.observe(frame.src, channel, self.radio.last_rssi)

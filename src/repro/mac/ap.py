@@ -87,11 +87,21 @@ class AccessPoint:
         # channel). They predate anything in the PSM buffer, so they are
         # flushed first to preserve TCP ordering.
         self._retry_buffers: Dict[str, Deque[Frame]] = {}
+        # Clients with at least one frame parked in either buffer: the
+        # per-frame wake check in ``_on_frame`` is one set lookup
+        # instead of two dict probes (it runs for every frame the AP
+        # hears, including every other AP's beacons).
+        self._parked: Set[str] = set()
         self._last_heard: Dict[str, float] = {}
         self.on_uplink: Optional[Callable[[str, object], None]] = None
         self.on_associated: Optional[Callable[[str], None]] = None
         self.psm_drops = 0
         self._beaconing = False
+        #: Beacons are immutable after construction and nothing in the
+        #: stack keeps per-frame state for them (``Frame.seq`` only
+        #: feeds ``__repr__``), so one frame object serves every tick
+        #: instead of re-allocating ~10 frames/s per AP.
+        self._beacon_frame = frames.beacon(self.name, payload={"channel": self.channel})
         metrics = sim.metrics
         if metrics is not None:
             metrics.add_source(lambda: {"ap.psm_drops": self.psm_drops})
@@ -111,7 +121,7 @@ class AccessPoint:
     def _beacon_tick(self) -> None:
         if not self._beaconing:
             return
-        self.radio.transmit(frames.beacon(self.name, payload={"channel": self.channel}))
+        self.radio.transmit(self._beacon_frame)
         self.sim.schedule(self.config.beacon_interval, self._beacon_tick)
 
     def stop(self) -> None:
@@ -130,6 +140,7 @@ class AccessPoint:
         self._psm_mode.discard(client)
         self._psm_buffers.pop(client, None)
         self._retry_buffers.pop(client, None)
+        self._parked.discard(client)
 
     # -- frame handling ---------------------------------------------------
 
@@ -158,28 +169,25 @@ class AccessPoint:
                 trace.emit(tr.AP_PSM_DROP, self.sim.now, ap=self.name, client=client)
             return
         buffer.append(frame)
+        self._parked.add(client)
+
+    #: frame type → unbound handler, hoisted to the class: ``_on_frame``
+    #: runs once per frame the AP hears (every beacon on the channel at
+    #: metro density), and rebuilding a seven-entry dict there cost
+    #: seven enum hashes per frame before the lookup even started.
+    _FRAME_HANDLERS: Dict[FrameType, Callable[["AccessPoint", Frame], None]] = {}
 
     def _on_frame(self, frame: Frame) -> None:
-        if frame.dst not in (self.name, frames.BROADCAST):
+        if frame.dst != self.name and frame.dst != frames.BROADCAST:
             return
         self._last_heard[frame.src] = self.sim.now
         # Hearing from a client not in PSM means it is awake: release
         # anything parked by PSM or TX-failure requeueing.
-        if frame.src not in self._psm_mode and (
-            self._psm_buffers.get(frame.src) or self._retry_buffers.get(frame.src)
-        ):
+        if frame.src in self._parked and frame.src not in self._psm_mode:
             self._flush_psm(frame.src)
-        handler = {
-            FrameType.PROBE_REQUEST: self._on_probe,
-            FrameType.AUTH_REQUEST: self._on_auth,
-            FrameType.ASSOC_REQUEST: self._on_assoc,
-            FrameType.NULL_DATA: self._on_null,
-            FrameType.PS_POLL: self._on_ps_poll,
-            FrameType.DATA: self._on_data,
-            FrameType.DEAUTH: self._on_deauth,
-        }.get(frame.type)
+        handler = self._FRAME_HANDLERS.get(frame.type)
         if handler is not None:
-            handler(frame)
+            handler(self, frame)
 
     def _on_probe(self, frame: Frame) -> None:
         trace = self.sim.trace
@@ -279,10 +287,12 @@ class AccessPoint:
                     trace.emit(tr.AP_PSM_DROP, self.sim.now, ap=self.name, client=client)
                 return
             buffer.append(frame)
+            self._parked.add(client)
             return
         self.radio.transmit(frame)
 
     def _flush_psm(self, client: str) -> None:
+        self._parked.discard(client)
         retry = self._retry_buffers.get(client)
         if retry:
             while retry:
@@ -291,3 +301,17 @@ class AccessPoint:
         if buffer:
             while buffer:
                 self.radio.transmit(buffer.popleft())
+
+
+#: Populated after the class body so the unbound methods exist; kept
+#: off the instance so every AP shares one dict (and one set of enum
+#: hashes, computed once at import).
+AccessPoint._FRAME_HANDLERS = {
+    FrameType.PROBE_REQUEST: AccessPoint._on_probe,
+    FrameType.AUTH_REQUEST: AccessPoint._on_auth,
+    FrameType.ASSOC_REQUEST: AccessPoint._on_assoc,
+    FrameType.NULL_DATA: AccessPoint._on_null,
+    FrameType.PS_POLL: AccessPoint._on_ps_poll,
+    FrameType.DATA: AccessPoint._on_data,
+    FrameType.DEAUTH: AccessPoint._on_deauth,
+}

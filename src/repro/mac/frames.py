@@ -26,6 +26,12 @@ _sequence = itertools.count()
 
 
 class FrameType(enum.Enum):
+    # Enum's default __hash__ is a Python-level call on the member
+    # name; frame types key every dispatch-table lookup on the MAC hot
+    # path, so use the C-level identity hash (members are singletons,
+    # and Enum equality is already identity).
+    __hash__ = object.__hash__
+
     BEACON = "beacon"
     PROBE_REQUEST = "probe-req"
     PROBE_RESPONSE = "probe-resp"
@@ -84,13 +90,14 @@ class Frame:
 
 def mgmt_frame(frame_type: FrameType, src: str, dst: str, payload: Any = None) -> Frame:
     """Build a management frame at the basic rate."""
-    if frame_type not in MGMT_FRAME_SIZES:
+    size_bytes = MGMT_FRAME_SIZES.get(frame_type)
+    if size_bytes is None:
         raise ValueError(f"{frame_type} is not a management frame type")
     return Frame(
         type=frame_type,
         src=src,
         dst=dst,
-        size_bytes=MGMT_FRAME_SIZES[frame_type],
+        size_bytes=size_bytes,
         rate_bps=MANAGEMENT_RATE_BPS,
         payload=payload,
         needs_ack=dst != BROADCAST,

@@ -1,0 +1,181 @@
+"""Vectorized PHY delivery kernel: the batched half of broadcast fan-out.
+
+``Medium._deliver_broadcast`` visits every radio in a fan-out snapshot
+and, for each one in range, draws a loss uniform from the phy RNG
+stream. PR 5/PR 9 made the snapshots small and flat; this module makes
+the *per-entry geometry* cheap by keeping a struct-of-arrays form of
+each snapshot — parallel numpy arrays of ``(x, y, reg_seq)`` for the
+static radios, built once per cache fill — so one batched computation
+per fan-out rejects every out-of-range static candidate at C speed.
+
+Identity contract (why ``kernel = "vector"`` is byte-identical to the
+scalar oracle — DESIGN.md §6.3, pinned by ``tests/test_phy_kernel.py``):
+
+- The batch is a *conservative pre-filter*, not the decision. The
+  ``|dx| <= range`` reject is exact (it is the scalar loop's bbox test
+  verbatim), and the squared-distance test keeps everything within
+  ``range² · (1 + 2e-9)`` — ``numpy.hypot`` is **not** bit-identical
+  to ``math.hypot`` on this formula (measured ~0.6% of uniform draws
+  differ in the last ulp), so the kernel never takes a sqrt. Every
+  candidate the batch keeps re-runs the exact scalar checks
+  (``math.hypot``, same expression, same operand order) in the Medium;
+  the batch can only *over*-keep, never drop a radio the oracle would
+  have visited.
+- Survivor order is snapshot order: static survivors come back as
+  ascending snapshot row positions (the snapshot is ``reg_seq``-sorted
+  at fill time) merged with the always-visited mobile rows, so the
+  Medium draws loss uniforms for exactly the radios the oracle draws
+  for, in exactly the oracle's order.
+- :func:`batch_loss` mirrors ``propagation.combined_loss`` with the
+  same operand order per lane; elementwise numpy arithmetic rounds
+  identically to scalar Python floats, so the loss values compared
+  against the draws are bit-identical too.
+
+Purity contract (enforced by simlint SL016 ``kernel-purity``): this is
+the only module under ``repro/phy/`` that may import numpy, and the
+kernel must stay a pure function of its arguments — no trace emission,
+no simulation clock, and no randomness source of its own. Loss draws
+belong to the Medium, taken from the phy ``random.Random`` stream in
+snapshot order; the kernel only decides *which* radios get one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Below this many *static* rows the numpy round-trip (array indexing,
+#: ufunc dispatch) costs more than the scalar loop saves, so
+#: :func:`build_arrays` declines and the Medium keeps the oracle loop.
+#: Both paths are digest-identical; this is purely a speed knob.
+KERNEL_MIN_BATCH = 24
+
+#: Squared relative slack on the sqrt-free range test. The scalar
+#: oracle accepts ``math.hypot(dx, dy) <= range``; the float error in
+#: ``dx² + dy²`` versus the true squared distance is a few ulp
+#: (≈ 5·2⁻⁵³ relative), so a 2e-9 relative margin on ``range²`` keeps
+#: every oracle-accepted radio with orders of magnitude to spare while
+#: still rejecting everything meaningfully out of range.
+_RANGE_SLACK_SQ = (1.0 + 1e-9) ** 2
+
+
+class FanoutArrays:
+    """Struct-of-arrays form of one fan-out snapshot.
+
+    Built once per snapshot fill (:func:`build_arrays`) and cached by
+    the Medium alongside the snapshot list; the ``is``-identity of the
+    source list validates the cache, so any membership change (which
+    replaces the snapshot object) implicitly invalidates the arrays.
+
+    ``rows`` holds each static radio's *position in the snapshot list*
+    — the merge key. Snapshot order is ``reg_seq`` order at fill time,
+    and the scalar oracle iterates the same list, so row order is
+    exactly the oracle's visit (and RNG draw) order even if a radio's
+    live ``reg_seq`` changes under re-registration. ``seqs`` keeps the
+    registration sequence numbers for introspection and tests.
+    """
+
+    __slots__ = ("xs", "ys", "rows", "seqs", "mobile_rows")
+
+    def __init__(
+        self,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+        rows: "np.ndarray",
+        seqs: "np.ndarray",
+        mobile_rows: List[int],
+    ):
+        self.xs = xs
+        self.ys = ys
+        self.rows = rows
+        self.seqs = seqs
+        self.mobile_rows = mobile_rows
+
+
+def build_arrays(
+    entries: Sequence[Tuple[Any, Optional[float], Optional[float]]],
+) -> Optional[FanoutArrays]:
+    """SoA form of a ``(radio, x, y)`` snapshot, or None if too small.
+
+    ``x is None`` marks a mobile radio (position resolved at delivery
+    time); mobiles are always candidates, so only their row positions
+    are kept. Returns None when the static population is under
+    :data:`KERNEL_MIN_BATCH` — the scalar loop wins there.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    rows: List[int] = []
+    seqs: List[int] = []
+    mobile_rows: List[int] = []
+    for row, (radio, x, y) in enumerate(entries):
+        if x is None:
+            mobile_rows.append(row)
+        else:
+            rows.append(row)
+            xs.append(x)
+            ys.append(y)
+            seqs.append(radio.reg_seq)
+    if len(rows) < KERNEL_MIN_BATCH:
+        return None
+    return FanoutArrays(
+        np.asarray(xs, dtype=np.float64),
+        np.asarray(ys, dtype=np.float64),
+        np.asarray(rows, dtype=np.intp),
+        np.asarray(seqs, dtype=np.int64),
+        mobile_rows,
+    )
+
+
+def candidate_rows(
+    arrays: FanoutArrays, sender_x: float, sender_y: float, range_m: float
+) -> List[int]:
+    """Snapshot rows that might be in range, in snapshot order.
+
+    One batched pass over the static rows: the exact ``|dx| <= range``
+    bbox reject, then the conservative sqrt-free squared-distance test
+    (see :data:`_RANGE_SLACK_SQ`). Mobile rows are always included —
+    their positions are delivery-time state the kernel cannot see. The
+    result is ascending row positions, i.e. the scalar oracle's visit
+    order restricted to radios that can possibly pass its range check.
+    """
+    dx = sender_x - arrays.xs
+    keep = np.abs(dx) <= range_m
+    dy = sender_y - arrays.ys
+    keep &= dx * dx + dy * dy <= (range_m * range_m) * _RANGE_SLACK_SQ
+    rows = arrays.rows[keep].tolist()
+    mobile_rows = arrays.mobile_rows
+    if mobile_rows:
+        rows.extend(mobile_rows)
+        rows.sort()
+    return rows
+
+
+def batch_loss(
+    dists: Sequence[float],
+    range_m: float,
+    base_loss: float,
+    fringe_start_m: float,
+    fringe_span_m: float,
+    extra: float,
+) -> "np.ndarray":
+    """Vectorized mirror of ``propagation.combined_loss`` per distance.
+
+    Each lane computes the scalar formula with the same operand order
+    — flat floor inside the fringe, quadratic roll-off
+    ``base + (1-base)·f·f`` across it, certainty beyond range, plus the
+    interference ``extra``, capped at 1.0 — so every element is
+    bit-identical to the scalar helper on the same input
+    (``tests/test_phy_kernel.py`` pins this). Inputs are delivery-time
+    ``math.hypot`` distances; the kernel never computes a sqrt itself.
+    """
+    dist = np.asarray(dists, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # edge_start == 1.0 makes the span zero; the fringe lane is
+        # junk there but never selected (everything in range is at or
+        # inside the fringe start), exactly like the scalar branch.
+        fraction = (dist - fringe_start_m) / fringe_span_m
+        fringe = base_loss + (1.0 - base_loss) * fraction * fraction
+    loss = np.where(dist <= fringe_start_m, base_loss, fringe)
+    loss = np.where(dist > range_m, 1.0, loss)
+    return np.minimum(loss + extra, 1.0)

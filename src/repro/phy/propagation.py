@@ -10,7 +10,7 @@ studies (Cabernet, CarTel) report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -19,11 +19,23 @@ class PropagationModel:
 
     ``edge_start`` is the fraction of range where the fringe begins;
     inside it the loss is the flat floor ``base_loss``.
+
+    The fringe geometry (``fringe_start_m``, ``fringe_span_m``) is
+    precomputed once: every delivery consults it, and computing
+    ``edge_start * range_m`` per frame would both cost and invite the
+    formula to be re-derived (and drift) at call sites. This is the
+    *single* home of the loss formula — the medium's scalar delivery
+    paths and the vectorized kernel (``repro.phy.kernel``) both defer
+    to :meth:`loss_probability` / :func:`combined_loss`, and
+    ``tests/test_phy_kernel.py`` pins their agreement.
     """
 
     range_m: float = 100.0
     base_loss: float = 0.10
     edge_start: float = 0.70
+    #: Derived: distance where the fringe roll-off begins / its width.
+    fringe_start_m: float = field(init=False, repr=False, compare=False)
+    fringe_span_m: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.base_loss < 1:
@@ -32,6 +44,8 @@ class PropagationModel:
             raise ValueError("edge_start must be in (0, 1]")
         if self.range_m <= 0:
             raise ValueError("range must be positive")
+        self.fringe_start_m = self.edge_start * self.range_m
+        self.fringe_span_m = self.range_m - self.fringe_start_m
 
     def in_range(self, dist_m: float) -> bool:
         return dist_m <= self.range_m
@@ -44,9 +58,20 @@ class PropagationModel:
         """
         if dist_m > self.range_m:
             return 1.0
-        fringe_start = self.edge_start * self.range_m
-        if dist_m <= fringe_start:
+        if dist_m <= self.fringe_start_m:
             return self.base_loss
-        span = self.range_m - fringe_start
-        fraction = (dist_m - fringe_start) / span
+        fraction = (dist_m - self.fringe_start_m) / self.fringe_span_m
         return self.base_loss + (1.0 - self.base_loss) * fraction * fraction
+
+
+def combined_loss(model: PropagationModel, dist_m: float, extra: float) -> float:
+    """Delivery-time loss: path loss at ``dist_m`` plus interference.
+
+    ``extra`` is the interference contribution
+    (:meth:`repro.phy.radio.Medium.interference_loss`); the sum is
+    capped at certainty. Every delivery path — broadcast, unicast ARQ,
+    and the vectorized kernel's mirror — owes its loss to this one
+    composition, so the formula cannot fork.
+    """
+    loss = model.loss_probability(dist_m) + extra
+    return loss if loss < 1.0 else 1.0

@@ -43,13 +43,14 @@ from operator import attrgetter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import trace as tr
+from repro.phy import kernel as _kernel
 from repro.phy.channels import (
     DEFAULT_DATA_RATE_BPS,
     INTERFERENCE_OVERLAP,
     RATE_LADDER,
     frame_airtime,
 )
-from repro.phy.propagation import PropagationModel
+from repro.phy.propagation import PropagationModel, combined_loss
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.world.geometry import distance
@@ -127,6 +128,12 @@ class Radio:
         #: radios only); removal uses this stored key, so the index
         #: stays consistent even if the pin is refreshed in between.
         self._grid_cell: Optional[Tuple[int, int]] = None
+        #: Static-sender pair cache (``Medium._sender_pairs``):
+        #: ``(medium, channel, static_epoch, mobile_epoch, statics,
+        #: mobiles)``, or None. Held on the radio — the natural cache
+        #: key for a static sender — and revalidated against the
+        #: medium's split membership epochs on every broadcast.
+        self._pair_state: Any = None
         medium.register(self)
 
     def _repin(self) -> None:
@@ -140,6 +147,7 @@ class Radio:
         self._static = type(self.mobility) is StaticMobility
         self._position_time = None
         self._position_value = self.mobility.position(0.0) if self._static else None
+        self._pair_state = None
 
     def position(self):
         if self._static:
@@ -201,8 +209,9 @@ class Radio:
         ):
             frame.rate_bps = medium.suggest_rate(self, frame.dst)
         self.frames_sent += 1
-        self.tx_airtime += medium.airtime(frame)
-        medium.broadcast(self, frame)
+        airtime = medium.airtime(frame)
+        self.tx_airtime += airtime
+        medium.broadcast(self, frame, airtime=airtime)
         return True
 
     def _deliver(self, frame: Any, rssi: float = -100.0, airtime: Optional[float] = None) -> None:
@@ -252,8 +261,11 @@ class Medium:
         max_arq_attempts: int = 4,
         adjacent_channel_loss: float = 0.25,
         spatial_index: bool = True,
+        kernel: str = "vector",
         stream_name: str = "phy",
     ):
+        if kernel not in ("scalar", "vector"):
+            raise ValueError(f"unknown phy kernel {kernel!r} (use 'scalar' or 'vector')")
         self.sim = sim
         self.propagation = propagation or PropagationModel()
         self._rng = (streams or RandomStreams()).get(stream_name)
@@ -284,6 +296,15 @@ class Medium:
         #: are never removed, so the key count is a faithful version).
         self._interference_prone: set = set()
         self._prone_synced_channels = 0
+        #: channel → (busy-map size at build, [(other, weighted loss)])
+        #: — the spectral-overlap pairs of a channel, in the busy map's
+        #: *insertion* order (keys are never removed, so the map size
+        #: is a faithful build version and the iteration order is
+        #: append-only). Caching the pairs keeps ``_compute_interference``
+        #: from re-deriving overlaps per call; summing the cached list
+        #: adds the same floats in the same order as the historical
+        #: full-map walk, so memo entries stay bit-identical.
+        self._overlap_pairs: Dict[int, Tuple[int, List[Tuple[int, float]]]] = {}
         #: (size_bytes, rate_bps) → airtime; frames are few-shaped, so
         #: this converges to a handful of entries per workload.
         self._airtime_memo: Dict[Tuple[int, float], float] = {}
@@ -308,6 +329,27 @@ class Medium:
         self._local_cache: Dict[
             int, Dict[Tuple[int, int], List[Tuple[Radio, Optional[float], Optional[float]]]]
         ] = {}
+        #: Delivery kernel: ``"vector"`` (the default) batches the
+        #: fan-out geometry through ``repro.phy.kernel``; ``"scalar"``
+        #: keeps the historical per-entry loop as the oracle both are
+        #: proven digest-identical against (spec: ``[phy] kernel``).
+        self.kernel = kernel
+        self._vector = kernel == "vector"
+        #: snapshot key → ``(entries, FanoutArrays | None)``: the
+        #: struct-of-arrays form of a fan-out snapshot, built lazily on
+        #: first vector delivery and validated by the *identity* of the
+        #: snapshot list (invalidation replaces the list object, never
+        #: mutates it, so ``is`` is exact). Keys are the channel (scan
+        #: path) or ``(channel, cell)`` (spatial path) — disjoint types,
+        #: one map.
+        self._soa_cache: Dict[Any, Tuple[Any, Any]] = {}
+        #: Per-channel membership epochs, split by kind: any static
+        #: (resp. mobile) radio joining or leaving a channel bumps that
+        #: channel's static (resp. mobile) version. The snapshot caches
+        #: invalidate on either; the pair cache revalidates each half
+        #: independently.
+        self._static_version: Dict[int, int] = {}
+        self._mobile_version: Dict[int, int] = {}
         #: Cumulative transmit airtime per channel (s): the utilisation
         #: view the metrics registry snapshots as ``phy.airtime_s.ch*``.
         self.airtime_by_channel: Dict[int, float] = {}
@@ -348,7 +390,7 @@ class Medium:
         self._by_address.setdefault(radio.address, []).append(radio)
         if self._spatial:
             self._index_add(radio, radio.channel)
-        self._invalidate(radio.channel)
+        self._invalidate(radio.channel, radio._static)
 
     def unregister(self, radio: Radio) -> None:
         if radio not in self._radios:
@@ -359,7 +401,7 @@ class Medium:
             channel_index.pop(radio, None)
         if self._spatial:
             self._index_remove(radio, radio.channel)
-        self._invalidate(radio.channel)
+        self._invalidate(radio.channel, radio._static)
         peers = self._by_address.get(radio.address)
         if peers is not None:
             if radio in peers:
@@ -379,8 +421,8 @@ class Medium:
         """
         if radio not in self._radios:
             return  # unregistered radios may retune freely
-        self._invalidate(old_channel)
-        self._invalidate(new_channel)
+        self._invalidate(old_channel, radio._static)
+        self._invalidate(new_channel, radio._static)
         old_index = self._by_channel.get(old_channel)
         if old_index is not None:
             old_index.pop(radio, None)
@@ -397,10 +439,19 @@ class Medium:
             self._index_remove(radio, old_channel)
             self._index_add(radio, new_channel)
 
-    def _invalidate(self, channel: int) -> None:
-        """Drop the channel's cached fan-out snapshots (both paths)."""
+    def _invalidate(self, channel: int, static_member: bool) -> None:
+        """Drop the channel's cached fan-out snapshots (both paths).
+
+        ``static_member`` says which membership kind changed; the
+        matching epoch counter is bumped so the pair cache rebuilds
+        only the half that is actually stale.
+        """
         self._fanout_cache.pop(channel, None)
         self._local_cache.pop(channel, None)
+        if static_member:
+            self._static_version[channel] = self._static_version.get(channel, 0) + 1
+        else:
+            self._mobile_version[channel] = self._mobile_version.get(channel, 0) + 1
 
     def _index_add(self, radio: Radio, channel: int) -> None:
         """Insert into the spatial index, preserving per-bucket reg order.
@@ -471,15 +522,20 @@ class Medium:
             self._airtime_memo[key] = cached
         return cached
 
-    def broadcast(self, sender: Radio, frame: Any, attempt: int = 1) -> None:
+    def broadcast(
+        self, sender: Radio, frame: Any, attempt: int = 1, airtime: Optional[float] = None
+    ) -> None:
         """Serialise the frame onto the channel and schedule deliveries.
 
         The channel is FIFO: the transmission starts when the channel
         frees up, and completes one airtime later. Receivers are
         evaluated at completion time (mobile nodes may have moved).
+        ``airtime`` lets ``Radio.transmit`` pass its own memo lookup
+        through instead of repeating it.
         """
         channel = sender.channel
-        airtime = self.airtime(frame)
+        if airtime is None:
+            airtime = self.airtime(frame)
         self.airtime_by_channel[channel] = self.airtime_by_channel.get(channel, 0.0) + airtime
         now = self.sim.now
         busy_until = self._channel_busy_until.get(channel, 0.0)
@@ -488,11 +544,12 @@ class Medium:
         self._channel_busy_until[channel] = end
         self._busy_version += 1
         # Resolve the frame's delivery class (and its airtime) once,
-        # here, instead of re-running the getattr chain at completion.
-        unacked = getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False)
-        self.sim.schedule(
-            end - now, self._complete, sender, frame, channel, attempt, unacked, airtime
-        )
+        # here, and schedule that path directly rather than routing
+        # every completion through the ``_complete`` dispatcher.
+        if getattr(frame, "broadcast", False) or not getattr(frame, "needs_ack", False):
+            self.sim.schedule(end - now, self._deliver_broadcast, sender, frame, channel, airtime)
+        else:
+            self.sim.schedule(end - now, self._deliver_unicast, sender, frame, channel, attempt)
 
     def channel_busy_until(self, channel: int) -> float:
         return self._channel_busy_until.get(channel, 0.0)
@@ -578,20 +635,32 @@ class Medium:
 
     def _compute_interference(self, channel: int) -> float:
         now = self.sim.now
-        loss = self.adjacent_channel_loss
-        overlap_of = INTERFERENCE_OVERLAP.get
+        busy = self._channel_busy_until
+        cached = self._overlap_pairs.get(channel)
+        if cached is None or cached[0] != len(busy):
+            # (Re)derive the channel's spectral-overlap pairs from the
+            # busy map's current key set, preserving its insertion
+            # order so the float additions below run in exactly the
+            # order the historical per-call walk used.
+            loss = self.adjacent_channel_loss
+            overlap_of = INTERFERENCE_OVERLAP.get
+            pairs: List[Tuple[int, float]] = []
+            for other in busy:
+                if other == channel:
+                    continue
+                overlap = overlap_of((channel, other))
+                if overlap is not None:
+                    pairs.append((other, loss * overlap))
+            cached = (len(busy), pairs)
+            self._overlap_pairs[channel] = cached
         extra = 0.0
-        for other, busy_until in self._channel_busy_until.items():
-            if other == channel or busy_until <= now:
-                continue
-            overlap = overlap_of((channel, other))
-            if overlap is not None:
-                extra += loss * overlap
+        for other, weighted in cached[1]:
+            if busy[other] > now:
+                extra += weighted
         return min(extra, 0.9)
 
     def _loss_probability(self, channel: int, dist: float) -> float:
-        base = self.propagation.loss_probability(dist)
-        return min(1.0, base + self.interference_loss(channel))
+        return combined_loss(self.propagation, dist, self.interference_loss(channel))
 
     # -- delivery --------------------------------------------------------
 
@@ -621,9 +690,9 @@ class Medium:
         return entries
 
     def _local_entries(
-        self, channel: int, x: float, y: float
+        self, channel: int, key: Tuple[int, int]
     ) -> List[Tuple[Radio, Optional[float], Optional[float]]]:
-        """Spatial snapshot: the 3×3 cell neighbourhood of ``(x, y)``.
+        """Spatial snapshot: the 3×3 cell neighbourhood of cell ``key``.
 
         Static radios from the sender's cell and its eight neighbours
         plus every mobile radio on the channel, merged into ``reg_seq``
@@ -632,10 +701,10 @@ class Medium:
         neighbourhood is farther than one cell edge (= the propagation
         horizon) on some axis, so the oracle's range check skips it
         without drawing. Cached per (channel, sender cell); any
-        membership change on the channel invalidates.
+        membership change on the channel invalidates. The caller
+        computes ``key`` (the sender's grid cell) so the delivery path
+        derives it exactly once per completion.
         """
-        cell = self._cell_m
-        key = (int(x // cell), int(y // cell))
         cache = self._local_cache.get(channel)
         if cache is None:
             cache = self._local_cache[channel] = {}
@@ -663,6 +732,22 @@ class Medium:
             cache[key] = entries
         return entries
 
+    def _fanout_arrays(self, key: Any, entries: List) -> Any:
+        """SoA form of a snapshot, rebuilt when the snapshot changes.
+
+        The cache is validated by the snapshot list's *identity*:
+        membership changes replace the list object (never mutate it),
+        so ``is`` is an exact freshness test. ``None`` is a cached
+        verdict too — the snapshot's static population is under the
+        kernel's batch threshold and the scalar loop should run.
+        """
+        cached = self._soa_cache.get(key)
+        if cached is not None and cached[0] is entries:
+            return cached[1]
+        arrays = _kernel.build_arrays(entries)
+        self._soa_cache[key] = (entries, arrays)
+        return arrays
+
     def _deliver_broadcast(
         self, sender: Radio, frame: Any, channel: int, airtime: Optional[float] = None
     ) -> None:
@@ -670,24 +755,46 @@ class Medium:
         sender_pos = sender.position()
         sender_x = sender_pos.x
         sender_y = sender_pos.y
+        extra_loss = self.interference_loss(channel)
+        frame_air = self.airtime(frame) if airtime is None else airtime
+        if self._vector and sender._static:
+            # Static sender: the fan-out's static geometry is a constant
+            # of the channel's static membership — deliver from the
+            # precomputed pair list, skipping the snapshot fetch.
+            self._deliver_static(
+                sender, frame, channel, now, sender_x, sender_y, extra_loss, frame_air,
+            )
+            return
+        soa_key: Any
         if self._spatial:
-            entries = self._local_entries(channel, sender_x, sender_y)
+            cell = self._cell_m
+            cell_key = (int(sender_x // cell), int(sender_y // cell))
+            entries = self._local_entries(channel, cell_key)
+            soa_key = (channel, cell_key)
         else:
             entries = self._scan_entries(channel)
+            soa_key = channel
         if not entries:
             return
         propagation = self.propagation
         range_m = propagation.range_m
         # loss_probability returns the flat floor anywhere inside the
         # fringe; inlining that branch keeps the common case call-free.
-        fringe_start = propagation.edge_start * range_m
+        fringe_start = propagation.fringe_start_m
         base_floor = propagation.base_loss
         base_loss_at = propagation.loss_probability
-        extra_loss = self.interference_loss(channel)
-        frame_air = self.airtime(frame) if airtime is None else airtime
         rssi_at = self.rssi_at
         draw = self._rng.random
         trace = self.sim.trace
+        if self._vector:
+            if len(entries) >= _kernel.KERNEL_MIN_BATCH:
+                arrays = self._fanout_arrays(soa_key, entries)
+                if arrays is not None:
+                    self._deliver_vector(
+                        arrays, entries, sender, frame, channel, now,
+                        sender_x, sender_y, extra_loss, frame_air,
+                    )
+                    return
         # The snapshot list is never mutated in place (handlers that
         # retune/register/unregister only *replace* it via cache
         # invalidation), so iterating it while handlers run is safe.
@@ -710,6 +817,277 @@ class Medium:
                 continue
             loss = (base_floor if dist <= fringe_start else base_loss_at(dist)) + extra_loss
             if draw() < (loss if loss < 1.0 else 1.0):
+                radio.frames_lost += 1
+                if trace is not None:
+                    trace.emit(
+                        tr.PHY_FRAME_DROP, now, channel=channel,
+                        dst=radio.address, reason="loss",
+                    )
+                continue
+            radio._deliver(frame, rssi_at(dist), frame_air)
+
+    def _mobile_pairs(self, channel: int) -> List[Tuple[int, Radio]]:
+        """Current mobile members of ``channel`` as ``(reg_seq, radio)``.
+
+        Registration order: the spatial mobile set and the oracle scan
+        both maintain it, so the pair-merge in ``_deliver_static`` can
+        interleave these with the cached static pairs by ``reg_seq``.
+        """
+        if self._spatial:
+            mobile = self._mobile.get(channel)
+            if not mobile:
+                return []
+            return [(radio.reg_seq, radio) for radio in mobile]
+        return [
+            (radio.reg_seq, radio)
+            for radio, x, _y in self._scan_entries(channel)
+            if x is None
+        ]
+
+    def _sender_pairs(
+        self, sender: Radio, channel: int, sender_x: float, sender_y: float
+    ) -> Tuple[List, List]:
+        """Precomputed fan-out geometry for a static sender.
+
+        Returns ``(statics, mobiles)``: ``statics`` holds one
+        ``(reg_seq, radio, base_loss, rssi)`` tuple per static radio
+        that passes the sender's range check — the exact radios (and
+        the exact path-loss/RSSI floats) the scalar loop would compute
+        per frame, in registration order — and ``mobiles`` the
+        ``(reg_seq, radio)`` mobile members, whose geometry is
+        delivery-time state. The cache lives on the sender radio
+        (``Radio._pair_state`` — a static sender's cell and channel are
+        the key, and both are properties of the radio itself), with the
+        two halves validated against the channel's *split* membership
+        epochs (``_invalidate``): a mobile client retuning onto the
+        channel rebuilds only the cheap mobile list, leaving the static
+        geometry — the expensive half, and a constant while the
+        channel's static population is unchanged — intact. Static
+        positions are pinned at registration, and any re-registration
+        bumps the static epoch (and clears the radio's state via
+        ``_repin``), so surviving entries are never stale.
+
+        Large snapshots use the kernel's batched pre-filter to find the
+        static candidates; each still re-runs the exact scalar check,
+        so the cached pairs are byte-for-byte what the per-frame loop
+        would derive.
+        """
+        static_v = self._static_version.get(channel, 0)
+        mobile_v = self._mobile_version.get(channel, 0)
+        state = sender._pair_state
+        if (
+            state is not None
+            and state[1] == channel
+            and state[2] == static_v
+            and state[0] is self
+        ):
+            if state[3] == mobile_v:
+                return state[4], state[5]
+            mobiles = self._mobile_pairs(channel)
+            sender._pair_state = (self, channel, static_v, mobile_v, state[4], mobiles)
+            return state[4], mobiles
+        if self._spatial:
+            cell = self._cell_m
+            cell_key = (int(sender_x // cell), int(sender_y // cell))
+            entries = self._local_entries(channel, cell_key)
+            soa_key: Any = (channel, cell_key)
+        else:
+            entries = self._scan_entries(channel)
+            soa_key = channel
+        propagation = self.propagation
+        range_m = propagation.range_m
+        fringe_start = propagation.fringe_start_m
+        base_floor = propagation.base_loss
+        base_loss_at = propagation.loss_probability
+        rssi_at = self.rssi_at
+        statics: List[Tuple[int, Radio, float, float]] = []
+        rows: Any = range(len(entries))
+        if len(entries) >= _kernel.KERNEL_MIN_BATCH:
+            arrays = self._fanout_arrays(soa_key, entries)
+            if arrays is not None:
+                rows = _kernel.candidate_rows(arrays, sender_x, sender_y, range_m)
+        for row in rows:
+            radio, x, y = entries[row]
+            if x is None or radio is sender:
+                continue
+            dx = sender_x - x
+            if dx > range_m or -dx > range_m:
+                continue
+            dist = _hypot(dx, sender_y - y)
+            if dist > range_m:
+                continue
+            base = base_floor if dist <= fringe_start else base_loss_at(dist)
+            statics.append((radio.reg_seq, radio, base, rssi_at(dist)))
+        mobiles = self._mobile_pairs(channel)
+        sender._pair_state = (self, channel, static_v, mobile_v, statics, mobiles)
+        return statics, mobiles
+
+    def _deliver_static(
+        self,
+        sender: Radio,
+        frame: Any,
+        channel: int,
+        now: float,
+        sender_x: float,
+        sender_y: float,
+        extra_loss: float,
+        frame_air: float,
+    ) -> None:
+        """Broadcast delivery for a static sender via the pair cache.
+
+        Byte-identical to the scalar loop: the cached static pairs hold
+        the same path-loss and RSSI floats the per-frame loop computes
+        (same expressions, same operand order), channel and deafness
+        are re-checked per visit exactly as the scalar loop does, and
+        mobile members — whose positions are delivery-time state — run
+        the full scalar per-visit body, merged back in registration
+        (``reg_seq``) order so the RNG draw sequence is unchanged.
+        """
+        # Inlined hit path of ``_sender_pairs`` — this runs once per
+        # transmitted frame at steady state, so the call is worth
+        # skipping when the radio-held state validates.
+        state = sender._pair_state
+        if (
+            state is not None
+            and state[1] == channel
+            and state[2] == self._static_version.get(channel, 0)
+            and state[3] == self._mobile_version.get(channel, 0)
+            and state[0] is self
+        ):
+            statics = state[4]
+            mobiles = state[5]
+        else:
+            statics, mobiles = self._sender_pairs(sender, channel, sender_x, sender_y)
+        draw = self._rng.random
+        trace = self.sim.trace
+        if not mobiles:
+            for _row, radio, base, rssi in statics:
+                if radio.channel != channel or now < radio.deaf_until:
+                    continue
+                loss = base + extra_loss
+                if draw() < (loss if loss < 1.0 else 1.0):
+                    radio.frames_lost += 1
+                    if trace is not None:
+                        trace.emit(
+                            tr.PHY_FRAME_DROP, now, channel=channel,
+                            dst=radio.address, reason="loss",
+                        )
+                    continue
+                radio._deliver(frame, rssi, frame_air)
+            return
+        propagation = self.propagation
+        range_m = propagation.range_m
+        fringe_start = propagation.fringe_start_m
+        base_floor = propagation.base_loss
+        base_loss_at = propagation.loss_probability
+        rssi_at = self.rssi_at
+        static_index = 0
+        static_count = len(statics)
+        mobile_index = 0
+        mobile_count = len(mobiles)
+        while static_index < static_count or mobile_index < mobile_count:
+            if mobile_index >= mobile_count or (
+                static_index < static_count
+                and statics[static_index][0] < mobiles[mobile_index][0]
+            ):
+                _row, radio, base, rssi = statics[static_index]
+                static_index += 1
+                if radio.channel != channel or now < radio.deaf_until:
+                    continue
+                loss = base + extra_loss
+                dist = None
+            else:
+                _row, radio = mobiles[mobile_index]
+                mobile_index += 1
+                if radio is sender or radio.channel != channel or now < radio.deaf_until:
+                    continue
+                pos = radio.position()
+                dx = sender_x - pos.x
+                if dx > range_m or -dx > range_m:
+                    continue
+                dist = _hypot(dx, sender_y - pos.y)
+                if dist > range_m:
+                    continue
+                loss = (base_floor if dist <= fringe_start else base_loss_at(dist)) + extra_loss
+            if draw() < (loss if loss < 1.0 else 1.0):
+                radio.frames_lost += 1
+                if trace is not None:
+                    trace.emit(
+                        tr.PHY_FRAME_DROP, now, channel=channel,
+                        dst=radio.address, reason="loss",
+                    )
+                continue
+            radio._deliver(frame, rssi if dist is None else rssi_at(dist), frame_air)
+
+    def _deliver_vector(
+        self,
+        arrays: Any,
+        entries: List[Tuple[Radio, Optional[float], Optional[float]]],
+        sender: Radio,
+        frame: Any,
+        channel: int,
+        now: float,
+        sender_x: float,
+        sender_y: float,
+        extra_loss: float,
+        frame_air: float,
+    ) -> None:
+        """Batched broadcast delivery — byte-identical to the scalar loop.
+
+        Three ordered passes (DESIGN.md §6.3):
+
+        1. The kernel's vectorized pre-filter yields candidate snapshot
+           rows in snapshot order; each candidate re-runs the *exact*
+           scalar per-visit checks (sender/channel/deafness, bbox,
+           ``math.hypot`` range) — the batch only over-keeps, so the
+           survivors are exactly the radios the oracle draws for.
+        2. One ordered batch of RNG draws, one per survivor. Receive
+           handlers never draw from the phy stream (the stream is only
+           touched inside ``_deliver_*``, and ``broadcast`` merely
+           schedules a completion), and channel retunes / deafness only
+           happen from scheduled driver processes — never synchronously
+           from ``on_receive`` — so hoisting the draws ahead of the
+           deliveries reorders nothing observable.
+        3. Deliveries and drop traces in the same order the scalar loop
+           emits them, comparing each draw against the batched loss
+           (``kernel.batch_loss``, bit-identical per lane to
+           ``combined_loss`` on the same distances).
+        """
+        propagation = self.propagation
+        range_m = propagation.range_m
+        survivors: List[Tuple[Radio, float]] = []
+        append = survivors.append
+        for row in _kernel.candidate_rows(arrays, sender_x, sender_y, range_m):
+            radio, x, y = entries[row]
+            if radio is sender or radio.channel != channel or now < radio.deaf_until:
+                continue
+            if x is None:
+                pos = radio.position()
+                x = pos.x
+                y = pos.y
+            dx = sender_x - x
+            if dx > range_m or -dx > range_m:
+                continue
+            dist = _hypot(dx, sender_y - y)
+            if dist > range_m:
+                continue
+            append((radio, dist))
+        if not survivors:
+            return
+        losses = _kernel.batch_loss(
+            [dist for _, dist in survivors],
+            range_m,
+            propagation.base_loss,
+            propagation.fringe_start_m,
+            propagation.fringe_span_m,
+            extra_loss,
+        ).tolist()
+        draw = self._rng.random
+        draws = [draw() for _ in range(len(survivors))]
+        rssi_at = self.rssi_at
+        trace = self.sim.trace
+        for (radio, dist), loss, uniform in zip(survivors, losses, draws):
+            if uniform < loss:
                 radio.frames_lost += 1
                 if trace is not None:
                     trace.emit(
@@ -749,7 +1127,7 @@ class Medium:
                 busy_until = self._channel_busy_until.get(channel, 0.0)
                 self._channel_busy_until[channel] = max(busy_until, self.sim.now + airtime)
                 self._busy_version += 1
-                self.sim.schedule(airtime, self._complete, sender, frame, channel, attempt + 1, False)
+                self.sim.schedule(airtime, self._deliver_unicast, sender, frame, channel, attempt + 1)
             else:
                 self._report_tx_failure(sender, frame)
             return

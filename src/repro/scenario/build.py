@@ -74,13 +74,17 @@ class World:
         wired_latency: float = 0.075,
         name: str = "adhoc",
         spatial_index: bool = True,
+        kernel: str = "vector",
     ):
         self.name = name
         self.seed = seed
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
         self._spatial_index = spatial_index
-        self.medium = Medium(self.sim, propagation, self.streams, spatial_index=spatial_index)
+        self._kernel = kernel
+        self.medium = Medium(
+            self.sim, propagation, self.streams, spatial_index=spatial_index, kernel=kernel
+        )
         self.wired_latency = wired_latency
         self.aps: Dict[str, AccessPoint] = {}
         self.routers: Dict[str, ApRouter] = {}
@@ -120,6 +124,7 @@ class World:
                 self.medium.propagation,
                 self.streams,
                 spatial_index=self._spatial_index,
+                kernel=self._kernel,
                 stream_name=f"phy:{part.name}",
             )
             self.partitions.add_region(
@@ -404,6 +409,7 @@ def _build(spec: ScenarioSpec) -> World:
         spec.wired_latency,
         name=spec.name,
         spatial_index=spec.phy.spatial_index,
+        kernel=spec.phy.kernel,
     )
     world.spec = spec
     if spec.partitions:

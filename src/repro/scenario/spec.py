@@ -40,13 +40,18 @@ class PhySpec:
 
     ``spatial_index=False`` selects the scalar full-channel-scan oracle
     inside every ``Medium`` — slower, but the reference the grid path
-    is proven digest-identical against. ``handoff_period_s`` is the
-    partition poll period for mobile radios (only meaningful when the
-    spec declares ``[[partitions]]``).
+    is proven digest-identical against. ``kernel`` picks the broadcast
+    delivery implementation: ``"vector"`` (the default) batches the
+    fan-out geometry through ``repro.phy.kernel``; ``"scalar"`` keeps
+    the per-entry loop, the oracle the kernel is proven byte-identical
+    against (DESIGN.md §6.3). ``handoff_period_s`` is the partition
+    poll period for mobile radios (only meaningful when the spec
+    declares ``[[partitions]]``).
     """
 
     spatial_index: bool = True
     handoff_period_s: float = 1.0
+    kernel: str = "vector"
 
 
 @dataclass(frozen=True)
@@ -199,6 +204,10 @@ class ScenarioSpec:
         data = _plain(asdict(self))
         if self.phy == PhySpec():
             del data["phy"]
+        elif self.phy.kernel == "vector":
+            # Default kernel — omitted so pre-kernel digests (and any
+            # spec that only tweaks the other phy knobs) are unchanged.
+            del data["phy"]["kernel"]
         if not self.partitions:
             del data["partitions"]
         deployment = data["deployment"]
@@ -268,6 +277,8 @@ class ScenarioSpec:
                 raise SpecError("aps_per_block must be positive")
         if self.phy.handoff_period_s <= 0:
             raise SpecError("handoff_period_s must be positive")
+        if self.phy.kernel not in ("scalar", "vector"):
+            raise SpecError(f"unknown phy kernel {self.phy.kernel!r} (use 'scalar' or 'vector')")
         region_names: set = set()
         for partition in self.partitions:
             if not partition.name:

@@ -51,9 +51,11 @@ class EventHandle:
     :meth:`cancel` a no-op and keeps the simulator's O(1) tombstone
     count honest without any hot-path bookkeeping.
 
-    Handles are themselves the (slotted) heap entries — ordered by
-    ``(time, seq)`` so ties break by schedule order — which saves one
-    tuple allocation and an indirection per scheduled event.
+    The heap holds plain ``(time, seq, handle)`` tuples: ``seq`` is
+    unique, so heap sifting only ever compares floats and ints at C
+    speed and never calls back into Python — measurably cheaper than
+    making the (slotted) handle itself comparable, which cost one
+    ``__lt__`` frame per comparison on million-event runs.
     """
 
     __slots__ = ("time", "seq", "cancelled", "_callback", "_args", "_sim")
@@ -72,11 +74,6 @@ class EventHandle:
         self._callback = callback
         self._args = args
         self._sim = sim
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call repeatedly."""
@@ -254,7 +251,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._stopped = False
         #: Cancelled entries still sitting in the heap as tombstones.
@@ -290,8 +287,10 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        handle = EventHandle(self, self.now + delay, callback, args, next(self._sequence))
-        heapq.heappush(self._heap, handle)
+        time = self.now + delay
+        seq = next(self._sequence)
+        handle = EventHandle(self, time, callback, args, seq)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -319,18 +318,17 @@ class Simulator:
     def step(self) -> bool:
         """Execute the single next event. Returns False if none remain.
 
-        Hot path: locals are hoisted (heap, pop) and the guard checks
-        (tombstone skip, time monotonicity) stay inside the loop so one
-        ``step`` costs a pop, two attribute writes, and the callback.
+        The single-step entry point for tests and campaign drivers; the
+        run loop does not call it — ``_run_loop`` inlines the same body
+        with a batched same-timestamp drain.
         """
         heap = self._heap
         pop = heapq.heappop
         while heap:
-            handle = pop(heap)
+            time, _, handle = pop(heap)
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
-            time = handle.time
             if time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")
             # Mark consumed: a later cancel() must be a no-op.
@@ -362,31 +360,63 @@ class Simulator:
         self._run_loop(until)
 
     def _run_loop(self, until: Optional[float]) -> None:
+        """The inlined hot loop: batched same-timestamp dispatch.
+
+        Discrete-event workloads are bursty in simulated time — a
+        broadcast completion fans out dozens of zero-delay deliveries
+        and process resumes sharing one timestamp. The loop drains
+        every heap entry sharing ``now`` in one iteration: the clock
+        write, the monotonicity check, and (in bounded mode) the
+        deadline peek happen once per *timestamp*, not once per event,
+        with the pop/tombstone/fire locals hoisted out of the drain.
+        ``events_executed`` still advances per callback (metrics
+        snapshots scheduled inside a batch must observe the exact
+        per-event count the unbatched loop produced), and ``stop()``
+        still takes effect after the current callback returns.
+        """
         self._stopped = False
-        step = self.step
-        if until is None:
-            while not self._stopped and step():
-                pass
-            return
+        heap = self._heap
+        pop = heapq.heappop
         while not self._stopped:
-            if self._heap:
-                next_time = self._next_pending_time()
-                if next_time is None or next_time > until:
-                    break
-            if not step():
+            # Advance to the next live entry (tombstone sweep).
+            while heap:
+                time, _, handle = heap[0]
+                if handle.cancelled:
+                    pop(heap)
+                    self._cancelled_pending -= 1
+                    continue
                 break
-        if until > self.now:
+            else:
+                break
+            if time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            if until is not None and time > until:
+                break
+            self.now = time
+            # Drain everything sharing this timestamp, including
+            # zero-delay events the callbacks push while we drain.
+            while heap and heap[0][0] == time:
+                entry_handle = pop(heap)[2]
+                if entry_handle.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                entry_handle.cancelled = True
+                self.events_executed += 1
+                entry_handle._callback(*entry_handle._args)
+                if self._stopped:
+                    break
+        if until is not None and until > self.now:
             self.now = until
 
     def _next_pending_time(self) -> Optional[float]:
         heap = self._heap
         while heap:
-            handle = heap[0]
+            time, _, handle = heap[0]
             if handle.cancelled:
                 heapq.heappop(heap)
                 self._cancelled_pending -= 1
                 continue
-            return handle.time
+            return time
         return None
 
     @property

@@ -1,0 +1,473 @@
+"""The vectorized PHY kernel vs the scalar oracle (DESIGN.md §6.3).
+
+Three layers of proof that ``kernel="vector"`` changes *nothing
+observable*:
+
+- **Loss math has one home.** The scalar broadcast loop, the unicast
+  ARQ path, and the kernel's :func:`batch_loss` all owe their loss to
+  ``propagation.combined_loss``; the agreement tests pin all of them
+  bit-for-bit across the flat floor, the fringe roll-off, the beyond-
+  range lane, and interference extras.
+- **The pre-filter only over-keeps.** Property tests check that every
+  radio the oracle's exact ``math.hypot`` check accepts appears in
+  :func:`candidate_rows`, in snapshot order, mobiles always included.
+- **Generated-world identity.** ~50 worlds sweeping radio count,
+  mobile fraction, channel mix, interference, and the spatial index
+  run the same seeded traffic (with mid-run retunes and deafness)
+  under both kernels; counters, delivery logs, drop traces, RSSI, and
+  the number of RNG draws consumed must be byte-identical — asserted
+  via SHA-256 digests of the canonical outcome.
+"""
+
+import hashlib
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac import frames
+from repro.phy import kernel
+from repro.phy.propagation import PropagationModel, combined_loss
+from repro.phy.radio import Medium, Radio
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.world.geometry import Point
+from repro.world.mobility import ConstantVelocityMobility, StaticMobility
+
+
+# -- loss math: one formula, three call sites ---------------------------------
+
+
+LOSS_MODELS = [
+    PropagationModel(),
+    PropagationModel(range_m=120.0, base_loss=0.15, edge_start=0.7),
+    PropagationModel(range_m=50.0, base_loss=0.0, edge_start=0.99),
+    PropagationModel(range_m=200.0, base_loss=0.4, edge_start=1.0),  # zero-width fringe
+]
+
+
+def _sweep_distances(model):
+    """Distances hitting every branch, including exact boundaries."""
+    eps = 1e-9
+    return [
+        0.0,
+        model.fringe_start_m / 2,
+        model.fringe_start_m - eps,
+        model.fringe_start_m,
+        model.fringe_start_m + eps,
+        (model.fringe_start_m + model.range_m) / 2,
+        model.range_m - eps,
+        model.range_m,
+        model.range_m + eps,
+        model.range_m * 2,
+    ]
+
+
+class TestLossAgreement:
+    @pytest.mark.parametrize("model", LOSS_MODELS, ids=lambda m: f"r{m.range_m:g}")
+    @pytest.mark.parametrize("extra", [0.0, 0.25, 0.9])
+    def test_batch_loss_matches_combined_loss_bitwise(self, model, extra):
+        dists = _sweep_distances(model)
+        batched = kernel.batch_loss(
+            dists, model.range_m, model.base_loss,
+            model.fringe_start_m, model.fringe_span_m, extra,
+        )
+        for dist, lane in zip(dists, batched.tolist()):
+            assert lane == combined_loss(model, dist, extra), dist
+
+    @pytest.mark.parametrize("model", LOSS_MODELS, ids=lambda m: f"r{m.range_m:g}")
+    def test_scalar_broadcast_inline_matches_combined_loss(self, model):
+        # The broadcast loop inlines the flat-floor branch; the inlined
+        # expression must equal the shared helper on every branch.
+        for extra in (0.0, 0.3, 1.5):
+            for dist in _sweep_distances(model):
+                if dist > model.range_m:
+                    continue  # the loop skips out-of-range radios entirely
+                base = (
+                    model.base_loss
+                    if dist <= model.fringe_start_m
+                    else model.loss_probability(dist)
+                )
+                loss = base + extra
+                inline = loss if loss < 1.0 else 1.0
+                assert inline == combined_loss(model, dist, extra)
+
+    def test_unicast_path_uses_combined_loss(self):
+        sim = Simulator()
+        medium = Medium(sim, PropagationModel(), RandomStreams(5))
+        for dist in _sweep_distances(medium.propagation):
+            assert medium._loss_probability(1, dist) == combined_loss(
+                medium.propagation, dist, medium.interference_loss(1)
+            )
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        dist=st.floats(min_value=0.0, max_value=400.0),
+        extra=st.floats(min_value=0.0, max_value=1.5),
+    )
+    def test_batch_loss_property(self, dist, extra):
+        model = LOSS_MODELS[1]
+        lane = float(
+            kernel.batch_loss(
+                [dist], model.range_m, model.base_loss,
+                model.fringe_start_m, model.fringe_span_m, extra,
+            )[0]
+        )
+        assert lane == combined_loss(model, dist, extra)
+
+
+# -- the conservative pre-filter ----------------------------------------------
+
+
+class _Row:
+    """Minimal stand-in for a snapshot radio (reg_seq only)."""
+
+    def __init__(self, reg_seq):
+        self.reg_seq = reg_seq
+
+
+def _entries(points, mobiles=0):
+    entries = [(_Row(i), x, y) for i, (x, y) in enumerate(points)]
+    base = len(entries)
+    for j in range(mobiles):
+        entries.insert(j * 2, (_Row(base + j), None, None))
+    return [(r, x, y) for r, x, y in entries]
+
+
+class TestCandidateRows:
+    def test_below_threshold_declines(self):
+        points = [(float(i), 0.0) for i in range(kernel.KERNEL_MIN_BATCH - 1)]
+        assert kernel.build_arrays(_entries(points)) is None
+
+    def test_mobile_rows_do_not_count_toward_threshold(self):
+        points = [(float(i), 0.0) for i in range(kernel.KERNEL_MIN_BATCH - 1)]
+        assert kernel.build_arrays(_entries(points, mobiles=10)) is None
+
+    def test_rows_are_snapshot_positions_in_order(self):
+        points = [(float(i), 0.0) for i in range(kernel.KERNEL_MIN_BATCH)]
+        entries = _entries(points, mobiles=3)
+        arrays = kernel.build_arrays(entries)
+        assert arrays is not None
+        rows = kernel.candidate_rows(arrays, 0.0, 0.0, 1e9)
+        assert rows == sorted(rows)
+        assert rows == list(range(len(entries)))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        range_m=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_never_drops_an_oracle_accepted_radio(self, seed, range_m):
+        rng = random.Random(seed)
+        points = [
+            (rng.uniform(-600, 600), rng.uniform(-600, 600)) for _ in range(40)
+        ]
+        entries = _entries(points, mobiles=2)
+        arrays = kernel.build_arrays(entries)
+        assert arrays is not None
+        sx, sy = rng.uniform(-600, 600), rng.uniform(-600, 600)
+        kept = set(kernel.candidate_rows(arrays, sx, sy, range_m))
+        for row, (radio, x, y) in enumerate(entries):
+            if x is None:
+                assert row in kept  # mobiles always visited
+                continue
+            dx = sx - x
+            if dx > range_m or -dx > range_m:
+                continue
+            if math.hypot(dx, sy - y) <= range_m:
+                assert row in kept, (row, x, y)
+
+
+# -- generated-world identity -------------------------------------------------
+
+
+_LAYOUTS = {
+    "single": (1,),
+    "orthogonal": (1, 6, 11),
+    "overlap": (1, 3, 6),
+}
+
+
+def _world_params():
+    params = []
+    for n_static in (8, 30, 64):
+        for mobile_frac in (0.0, 0.25):
+            for layout in sorted(_LAYOUTS):
+                for spatial in (True, False):
+                    params.append((n_static, mobile_frac, layout, spatial, 0.25))
+    # Interference ablation on the overlapping mix (the only layout
+    # where adjacent-channel loss changes anything).
+    for n_static in (30, 64):
+        for spatial in (True, False):
+            params.append((n_static, 0.25, "overlap", spatial, 0.0))
+    # Mobile-heavy mixes: the two-pointer static/mobile merge under load.
+    for layout in ("orthogonal", "overlap"):
+        for spatial in (True, False):
+            params.append((30, 0.5, layout, spatial, 0.25))
+    # Big worlds: static population well past KERNEL_MIN_BATCH so the
+    # batched paths (not just the scalar fallback) carry the run.
+    for mobile_frac in (0.1, 0.5):
+        for spatial in (True, False):
+            params.append((130, mobile_frac, "single", spatial, 0.25))
+    for spatial in (True, False):
+        params.append((100, 0.25, "overlap", spatial, 0.25))
+    return params
+
+
+WORLDS = _world_params()
+
+
+def _world_id(params):
+    n, frac, layout, spatial, adj = params
+    grid = "grid" if spatial else "scan"
+    return f"n{n}-m{int(frac * 100)}-{layout}-{grid}-adj{int(adj * 100)}"
+
+
+def _populate(medium, n_static, mobile_frac, channels, seed):
+    rng = random.Random(seed)
+    radios = []
+    for i in range(n_static):
+        position = Point(rng.uniform(0.0, 340.0), rng.uniform(0.0, 340.0))
+        radios.append(
+            Radio(medium, StaticMobility(position), channels[i % len(channels)],
+                  name=f"s{i}", address=f"s{i}")
+        )
+    for j in range(int(n_static * mobile_frac)):
+        origin = Point(rng.uniform(0.0, 340.0), rng.uniform(0.0, 340.0))
+        velocity = Point(rng.uniform(-25.0, 25.0), rng.uniform(-25.0, 25.0))
+        radios.append(
+            Radio(medium, ConstantVelocityMobility(origin, velocity),
+                  channels[j % len(channels)], name=f"m{j}", address=f"m{j}")
+        )
+    return radios
+
+
+def _schedule_traffic(sim, radios, channels, seed):
+    """Seeded beacons, retunes, and deafness across the run window."""
+    rng = random.Random(seed + 1)
+    for radio in radios:
+        shots = rng.randrange(2, 5)
+        for _ in range(shots):
+            sim.schedule(rng.uniform(0.0, 4.0), radio.transmit,
+                         frames.beacon(radio.name))
+    churners = [r for r in radios if rng.random() < 0.3]
+    for radio in churners:
+        target = channels[rng.randrange(len(channels))]
+        sim.schedule(rng.uniform(0.5, 3.0), radio.set_channel, target)
+    for radio in radios:
+        if rng.random() < 0.15:
+            sim.schedule(rng.uniform(0.0, 3.5), radio.go_deaf,
+                         rng.uniform(0.05, 0.6))
+
+
+def _run_world(kernel_name, n_static, mobile_frac, layout, spatial, adjacent_loss,
+               seed=17):
+    channels = _LAYOUTS[layout]
+    sim = Simulator()
+    from repro.obs.trace import TraceBus, TraceRecorder
+
+    bus = TraceBus()
+    recorder = TraceRecorder(bus)
+    bus.attach(sim)
+    medium = Medium(
+        sim,
+        PropagationModel(range_m=120.0, base_loss=0.15, edge_start=0.7),
+        RandomStreams(seed),
+        adjacent_channel_loss=adjacent_loss,
+        spatial_index=spatial,
+        kernel=kernel_name,
+    )
+    radios = _populate(medium, n_static, mobile_frac, channels, seed)
+    log = []
+    for radio in radios:
+        radio.on_receive = (
+            lambda frame, name=radio.name: log.append((sim.now, name, frame.src))
+        )
+    _schedule_traffic(sim, radios, channels, seed)
+    sim.run()
+    counters = [
+        (r.name, r.channel, r.frames_sent, r.frames_received, r.frames_lost,
+         r.last_rssi, r.tx_airtime, r.rx_airtime, r.deaf_time)
+        for r in radios
+    ]
+    trace_log = [
+        (e.sim_t, e.kind, tuple(sorted(e.fields.items()))) for e in recorder.events
+    ]
+    return {
+        "log": log,
+        "counters": counters,
+        "trace": trace_log,
+        "rng_probe": medium._rng.random(),  # same #draws consumed
+    }
+
+
+def _digest(outcome):
+    text = json.dumps(
+        {
+            "log": outcome["log"],
+            "counters": outcome["counters"],
+            "trace": outcome["trace"],
+            "rng_probe": outcome["rng_probe"],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("params", WORLDS, ids=_world_id)
+def test_generated_world_kernel_identity(params):
+    n_static, mobile_frac, layout, spatial, adjacent_loss = params
+    scalar = _run_world("scalar", n_static, mobile_frac, layout, spatial, adjacent_loss)
+    vector = _run_world("vector", n_static, mobile_frac, layout, spatial, adjacent_loss)
+    assert scalar["counters"] == vector["counters"]
+    assert scalar["log"] == vector["log"]
+    assert scalar["trace"] == vector["trace"]
+    assert scalar["rng_probe"] == vector["rng_probe"]
+    assert _digest(scalar) == _digest(vector)
+    # The worlds must actually do something, or identity proves nothing.
+    assert any(got for _, _, _, got, *_ in scalar["counters"])
+
+
+class TestKernelEngagement:
+    def test_batched_prefilter_engages_on_large_scan_worlds(self, monkeypatch):
+        calls = {"count": 0}
+        original = kernel.candidate_rows
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(kernel, "candidate_rows", counting)
+        outcome = _run_world("vector", 130, 0.5, "single", False, 0.25)
+        assert calls["count"] > 0, "vector kernel never engaged"
+        assert any(got for _, _, _, got, *_ in outcome["counters"])
+
+    def test_static_pair_cache_engages(self):
+        sim = Simulator()
+        medium = Medium(sim, PropagationModel(), RandomStreams(3), kernel="vector")
+        radios = _populate(medium, 30, 0.2, (1,), seed=3)
+        sender = radios[0]
+        for _ in range(3):
+            sender.transmit(frames.beacon(sender.name))
+            sim.run()
+        assert sender._pair_state is not None
+        _, channel, static_v, mobile_v, statics, mobiles = sender._pair_state
+        assert channel == 1
+        # Geometry matches a fresh scalar derivation, entry for entry.
+        model = medium.propagation
+        for reg_seq, radio, base, rssi in statics:
+            dist = math.hypot(
+                sender._position_value.x - radio._position_value.x,
+                sender._position_value.y - radio._position_value.y,
+            )
+            assert dist <= model.range_m
+            expected = (
+                model.base_loss
+                if dist <= model.fringe_start_m
+                else model.loss_probability(dist)
+            )
+            assert base == expected
+            assert rssi == medium.rssi_at(dist)
+            assert radio.reg_seq == reg_seq
+
+    def test_mobile_churn_refreshes_only_mobile_half(self):
+        sim = Simulator()
+        medium = Medium(sim, PropagationModel(), RandomStreams(3), kernel="vector")
+        radios = _populate(medium, 30, 0.3, (1, 6), seed=9)
+        sender = next(r for r in radios if r._static and r.channel == 1)
+        sender.transmit(frames.beacon(sender.name))
+        sim.run()
+        statics_before = sender._pair_state[4]
+        mover = next(r for r in radios if not r._static and r.channel == 6)
+        mover.set_channel(1)
+        sender.transmit(frames.beacon(sender.name))
+        sim.run()
+        # Static half survived the mobile churn by identity; the mobile
+        # half now includes the retuned radio.
+        assert sender._pair_state[4] is statics_before
+        assert any(radio is mover for _, radio in sender._pair_state[5])
+
+    def test_static_membership_change_rebuilds(self):
+        sim = Simulator()
+        medium = Medium(sim, PropagationModel(), RandomStreams(3), kernel="vector")
+        radios = _populate(medium, 30, 0.0, (1,), seed=5)
+        sender = radios[0]
+        sender.transmit(frames.beacon(sender.name))
+        sim.run()
+        statics_before = sender._pair_state[4]
+        joiner = Radio(
+            medium,
+            StaticMobility(Point(sender._position_value.x + 5.0,
+                                 sender._position_value.y)),
+            1, name="joiner", address="joiner",
+        )
+        sender.transmit(frames.beacon(sender.name))
+        sim.run()
+        assert sender._pair_state[4] is not statics_before
+        assert any(radio is joiner for _, radio, _, _ in sender._pair_state[4])
+
+    def test_reregistration_never_serves_stale_geometry(self):
+        # A neighbour unregisters and re-registers far away under a new
+        # mobility: the pair cache must re-derive, and the sender's own
+        # re-registration (partition handoff) clears its held state.
+        def outcome(kernel_name):
+            sim = Simulator()
+            medium = Medium(sim, PropagationModel(), RandomStreams(11),
+                            kernel=kernel_name)
+            sender = Radio(medium, StaticMobility(Point(0.0, 0.0)), 1,
+                           name="s", address="s")
+            neigh = Radio(medium, StaticMobility(Point(30.0, 0.0)), 1,
+                          name="n", address="n")
+            log = []
+            neigh.on_receive = lambda frame: log.append(("near", sim.now))
+            sender.transmit(frames.beacon("s"))
+            sim.run()
+            medium.unregister(neigh)
+            neigh.mobility = StaticMobility(Point(5000.0, 0.0))
+            medium.register(neigh)
+            sender.transmit(frames.beacon("s"))
+            sim.run()
+            return log, neigh.frames_received, neigh.frames_lost, medium._rng.random()
+
+        assert outcome("vector") == outcome("scalar")
+
+    def test_handoff_clears_pair_state(self):
+        sim = Simulator()
+        medium_a = Medium(sim, PropagationModel(), RandomStreams(1), kernel="vector")
+        medium_b = Medium(sim, PropagationModel(), RandomStreams(2),
+                          stream_name="phy-b", kernel="vector")
+        sender = Radio(medium_a, StaticMobility(Point(0.0, 0.0)), 1, name="s")
+        Radio(medium_a, StaticMobility(Point(10.0, 0.0)), 1, name="a")
+        sender.transmit(frames.beacon("s"))
+        sim.run()
+        assert sender._pair_state is not None
+        medium_a.unregister(sender)
+        sender.medium = medium_b
+        medium_b.register(sender)
+        assert sender._pair_state is None
+
+
+class TestSpecKernelField:
+    def test_default_kernel_omitted_from_canonical_form(self):
+        from repro.scenario.registry import scenario
+
+        spec = scenario("lab")
+        assert "kernel" not in spec.to_dict().get("phy", {})
+        scalar = spec.with_phy(kernel="scalar")
+        assert scalar.to_dict()["phy"]["kernel"] == "scalar"
+        assert scalar.digest() != spec.digest()
+
+    def test_unknown_kernel_rejected(self):
+        from repro.scenario.registry import scenario
+        from repro.scenario.spec import SpecError
+
+        with pytest.raises(SpecError):
+            scenario("lab").with_phy(kernel="simd").validated()
+
+    def test_medium_rejects_unknown_kernel(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Medium(sim, kernel="warp")

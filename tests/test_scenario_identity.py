@@ -83,3 +83,27 @@ def test_scenario_digest_identity(name):
         f"{name} drifted from the pre-index golden — the indexed medium "
         "no longer reproduces the linear-scan delivery byte for byte"
     )
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+@pytest.mark.parametrize("name", sorted(_SCENARIO_GOLDEN["kernel_identity"]))
+def test_kernel_digest_identity(name, kernel):
+    """Both PHY kernels must reproduce one pinned per-scenario digest.
+
+    The ``kernel_identity`` goldens digest the shard result *minus*
+    ``spec_digest`` — spelling the kernel out in the spec legitimately
+    changes the spec's canonical form, but must never change a single
+    byte of the simulation's output. One digest per scenario, matched
+    by both kernels, is the oracle proof at full-scenario scale
+    (DESIGN.md §6.3); the generated-world sweep in
+    ``tests/test_phy_kernel.py`` covers the parameter space around it.
+    """
+    spec = scenario(name, duration=_SCENARIO_GOLDEN["duration_s"])
+    shard = run_shard(spec.with_phy(kernel=kernel).to_dict())
+    shard.pop("spec_digest")
+    digest = hashlib.sha256(canonical_text(shard).encode()).hexdigest()
+    assert digest == _SCENARIO_GOLDEN["kernel_identity"][name], (
+        f"{name} under kernel={kernel} drifted from the kernel-identity "
+        "golden — the vectorized delivery no longer matches the scalar "
+        "oracle byte for byte"
+    )

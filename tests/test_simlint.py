@@ -574,6 +574,77 @@ class TestCrossPartitionScan:
         assert run.findings == []
 
 
+class TestKernelPurity:
+    def test_numpy_import_outside_kernel_flagged(self):
+        run = lint(unit("""
+            import numpy as np
+
+            def fast(xs):
+                return np.asarray(xs)
+        """, module="repro.phy.radio"), select=["SL016"])
+        assert len(run.findings) == 1
+        assert "outside repro.phy.kernel" in run.findings[0].message
+
+    def test_numpy_from_import_outside_kernel_flagged(self):
+        run = lint(unit(
+            "from numpy import hypot\n", module="repro.phy.propagation"
+        ), select=["SL016"])
+        assert len(run.findings) == 1
+
+    def test_numpy_inside_kernel_ok(self):
+        run = lint(unit("""
+            import numpy as np
+
+            def batch_loss(dists):
+                return np.minimum(np.asarray(dists), 1.0)
+        """, module="repro.phy.kernel"), select=["SL016"])
+        assert run.findings == []
+
+    def test_numpy_outside_phy_package_ignored(self):
+        run = lint(unit(
+            "import numpy as np\n", module="repro.metrics.stats"
+        ), select=["SL016"])
+        assert run.findings == []
+
+    def test_kernel_importing_sim_flagged(self):
+        run = lint(unit("""
+            import random
+            from repro.sim.engine import Simulator
+        """, module="repro.phy.kernel"), select=["SL016"])
+        assert len(run.findings) == 2
+        assert all("pure function" in f.message for f in run.findings)
+
+    def test_kernel_touching_clock_trace_rng_flagged(self):
+        run = lint(unit("""
+            def bad(sim, medium):
+                t = sim.now
+                medium.trace.emit
+                return medium._rng.random
+        """, module="repro.phy.kernel"), select=["SL016"])
+        assert len(run.findings) >= 3
+
+    def test_pure_kernel_ok(self):
+        run = lint(unit("""
+            import math
+            import numpy as np
+
+            def candidate_rows(xs, ys, sx, sy, range_m):
+                dx = sx - xs
+                keep = np.abs(dx) <= range_m
+                rows = np.nonzero(keep)[0].tolist()
+                rows.sort()
+                return rows
+        """, module="repro.phy.kernel"), select=["SL016"])
+        assert run.findings == []
+
+    def test_clock_access_outside_phy_ignored(self):
+        run = lint(unit("""
+            def tick(sim):
+                return sim.now
+        """, module="repro.mac.ap2"), select=["SL016"])
+        assert run.findings == []
+
+
 class TestSpanGuard:
     def test_unguarded_emit_flagged(self):
         run = lint(unit("""
@@ -817,7 +888,7 @@ class TestEngine:
         assert "SL003" not in rules and "SL001" in rules
 
     def test_all_documented_rules_registered(self):
-        documented = {f"SL{i:03d}" for i in range(16)}  # SL000–SL015
+        documented = {f"SL{i:03d}" for i in range(17)}  # SL000–SL016
         assert documented <= set(RULES)
 
     def test_module_name_for_walks_packages(self, tmp_path):
